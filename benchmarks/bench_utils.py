@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at
+``"bench"`` scale (see ``repro.experiments.configs``) and prints the
+regenerated rows/series so they can be compared against the paper values
+recorded in EXPERIMENTS.md.  pytest-benchmark measures the wall-clock cost of
+the regeneration; ``run_once`` keeps each experiment to a single measured
+iteration since a federated sweep is far too expensive to repeat many times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+BENCH_SEED = 0
+
+#: Reduced round budget used by the benchmark presets (the library default is
+#: 40; benchmarks trim it so the full suite finishes in a few minutes).
+BENCH_ROUNDS = 25
+
+
+def run_once(benchmark, func: Callable[[], Any]) -> Any:
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_header(title: str) -> None:
+    """Print a visually separated section header in the benchmark output."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

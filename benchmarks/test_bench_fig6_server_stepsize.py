@@ -1,0 +1,35 @@
+"""Fig. 6: the effect of the server gathering step size eta on FedADMM,
+including a mid-run decrease of eta (the paper adjusts at round 60; the bench
+preset adjusts at the midpoint of its shorter budget).
+"""
+
+from bench_utils import BENCH_ROUNDS, print_header, run_once
+
+from repro.experiments.configs import fig6_config
+from repro.experiments.figures import accuracy_series, series_to_text
+from repro.experiments.runner import run_server_stepsize_study
+
+ETAS = (0.5, 1.0, 1.5)
+
+
+def _run():
+    config = fig6_config(dataset="mnist", non_iid=True).with_overrides(
+        num_rounds=BENCH_ROUNDS
+    )
+    return run_server_stepsize_study(
+        config, etas=ETAS, switch_round=BENCH_ROUNDS // 2, switch_value=0.5, rho=0.3
+    )
+
+
+def test_fig6_server_step_size_study(benchmark):
+    results = run_once(benchmark, _run)
+    print_header("Fig. 6 — FedADMM under different server step sizes (non-IID MNIST)")
+    print(
+        series_to_text(
+            {label: accuracy_series(result) for label, result in results.items()},
+            max_points=10,
+        )
+    )
+    assert len(results) == len(ETAS) + 1  # three constants plus the mid-run switch
+    for result in results.values():
+        assert result.rounds_run == BENCH_ROUNDS

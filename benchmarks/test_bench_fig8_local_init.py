@@ -1,0 +1,36 @@
+"""Fig. 8: local-training initialisation for FedADMM.
+
+Initialisation I warm-starts local SGD from the stored local model w_i;
+initialisation II restarts from the downloaded global model theta.  The paper
+reports I is superior across server step sizes; the bench run prints both
+series per eta for comparison.
+"""
+
+from bench_utils import BENCH_ROUNDS, print_header, run_once
+
+from repro.experiments.configs import fig8_config
+from repro.experiments.figures import accuracy_series, series_to_text
+from repro.experiments.runner import run_local_init_study
+
+ETAS = (1.0, 0.5)
+
+
+def _run():
+    config = fig8_config(dataset="mnist", non_iid=True).with_overrides(
+        num_rounds=BENCH_ROUNDS
+    )
+    return run_local_init_study(config, etas=ETAS, rho=0.3)
+
+
+def test_fig8_local_initialisation_study(benchmark):
+    results = run_once(benchmark, _run)
+    print_header("Fig. 8 — warm start (I) vs restart from theta (II), non-IID MNIST")
+    print(
+        series_to_text(
+            {label: accuracy_series(result) for label, result in results.items()},
+            max_points=10,
+        )
+    )
+    assert len(results) == 2 * len(ETAS)
+    for label, result in results.items():
+        assert result.history.best_accuracy() > 0.2, label

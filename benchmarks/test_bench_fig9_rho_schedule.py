@@ -1,0 +1,42 @@
+"""Fig. 9: dynamic adaptation of rho for FedADMM.
+
+The paper shows a small rho early (efficient incorporation of local data)
+followed by a larger rho later (tighter consensus) can further improve the
+run; the bench compares two constant-rho runs with a piecewise schedule that
+switches at the midpoint of the budget.
+"""
+
+from bench_utils import BENCH_ROUNDS, print_header, run_once
+
+from repro.experiments.configs import fig9_config
+from repro.experiments.figures import accuracy_series, series_to_text
+from repro.experiments.runner import run_rho_schedule_study
+
+CONSTANT_RHOS = (0.1, 0.3)
+SWITCH = (0.1, 0.3)
+
+
+def _run():
+    config = fig9_config(dataset="mnist", non_iid=True).with_overrides(
+        num_rounds=BENCH_ROUNDS
+    )
+    return run_rho_schedule_study(
+        config,
+        constant_rhos=CONSTANT_RHOS,
+        switch_round=BENCH_ROUNDS // 2,
+        switch_values=SWITCH,
+    )
+
+
+def test_fig9_dynamic_rho_schedule(benchmark):
+    results = run_once(benchmark, _run)
+    print_header("Fig. 9 — FedADMM with constant vs dynamically increased rho")
+    print(
+        series_to_text(
+            {label: accuracy_series(result) for label, result in results.items()},
+            max_points=10,
+        )
+    )
+    assert len(results) == len(CONSTANT_RHOS) + 1
+    for result in results.values():
+        assert result.rounds_run == BENCH_ROUNDS

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the NN substrate.
+
+These are true repeated-measurement benchmarks (unlike the experiment
+regenerations): forward+backward throughput of the paper's CNN1 on one
+mini-batch, the small-MLP step used by the bench presets, and the flat
+parameter packing that every federated round relies on.
+"""
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import CNN1, MLP
+
+
+def _step(model, loss, x, y):
+    model.zero_grad()
+    predictions = model.forward(x)
+    _, grad = loss.value_and_grad(predictions, y)
+    model.backward(grad)
+    return model.get_flat_grad()
+
+
+def test_micro_cnn1_forward_backward(benchmark):
+    model = CNN1(rng=0)
+    loss = CrossEntropyLoss()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(8, 784))
+    y = rng.integers(0, 10, size=8)
+    grad = benchmark(lambda: _step(model, loss, x, y))
+    assert grad.shape == (1_663_370,)
+
+
+def test_micro_mlp_forward_backward(benchmark):
+    model = MLP(input_dim=784, hidden_dims=(32,), rng=0)
+    loss = CrossEntropyLoss()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 784))
+    y = rng.integers(0, 10, size=32)
+    grad = benchmark(lambda: _step(model, loss, x, y))
+    assert grad.shape == (model.num_params,)
+
+
+def test_micro_flat_param_roundtrip(benchmark):
+    model = MLP(input_dim=784, hidden_dims=(128, 64), rng=0)
+    flat = model.get_flat_params()
+
+    def roundtrip():
+        model.set_flat_params(flat)
+        return model.get_flat_params()
+
+    result = benchmark(roundtrip)
+    assert result.shape == flat.shape

@@ -1,0 +1,67 @@
+"""Quickstart: train a federated model with FedADMM in ~30 lines.
+
+Builds a small synthetic classification task, partitions it across 30
+clients in the paper's non-IID (two-shards-per-client) fashion, and runs
+FedADMM against FedAvg for a handful of communication rounds, printing the
+rounds-to-target metric and the communication cost.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FederatedSimulation,
+    ShardPartitioner,
+    UniformFractionSampler,
+    build_algorithm,
+    build_clients,
+    make_blobs,
+)
+from repro.federated.heterogeneity import UniformRandomEpochs
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import MLP
+
+TARGET_ACCURACY = 0.80
+NUM_ROUNDS = 20
+SEED = 0
+
+
+def run_algorithm(name: str, **kwargs):
+    """Run one algorithm on a shared non-IID setup and return its result."""
+    split = make_blobs(n_train=1500, n_test=500, rng=SEED)
+    partition = ShardPartitioner(shards_per_client=2).partition(
+        split.train, num_clients=30, rng=SEED
+    )
+    clients = build_clients(split.train, partition)
+    model = MLP(input_dim=split.train.feature_dim, hidden_dims=(32,), rng=SEED)
+
+    simulation = FederatedSimulation(
+        algorithm=build_algorithm(name, **kwargs),
+        model=model,
+        clients=clients,
+        test_dataset=split.test,
+        loss=CrossEntropyLoss(),
+        sampler=UniformFractionSampler(0.2),          # 20% of clients per round
+        local_work=UniformRandomEpochs(max_epochs=5),  # system heterogeneity
+        batch_size=32,
+        learning_rate=0.1,
+        seed=SEED,
+    )
+    return simulation.run(NUM_ROUNDS, target_accuracy=TARGET_ACCURACY)
+
+
+def main() -> None:
+    print(f"Target accuracy: {TARGET_ACCURACY:.0%} on a non-IID 10-class task\n")
+    for name, kwargs in [("fedadmm", {"rho": 0.3}), ("fedavg", {})]:
+        result = run_algorithm(name, **kwargs)
+        rounds = result.rounds_to_target
+        print(f"{name:8s}  final accuracy: {result.final_evaluation.accuracy:.3f}")
+        print(f"          rounds to {TARGET_ACCURACY:.0%}: "
+              f"{rounds if rounds is not None else f'{NUM_ROUNDS}+'}")
+        print(f"          uploaded: {result.ledger.upload_bytes / 1e6:.2f} MB "
+              f"over {result.rounds_run} rounds\n")
+
+
+if __name__ == "__main__":
+    main()

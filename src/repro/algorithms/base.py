@@ -1,0 +1,157 @@
+"""Algorithm interface shared by FedADMM and all baselines.
+
+A federated algorithm is defined by three pieces, mirroring Algorithm 1 in
+the paper:
+
+1. how a selected client trains locally and what it uploads
+   (:meth:`FederatedAlgorithm.local_update`),
+2. how the server combines the uploads into a new global model
+   (:meth:`FederatedAlgorithm.aggregate`),
+3. what persistent state (if any) clients and server carry across rounds
+   (:meth:`init_client_state` / :meth:`init_server_state`).
+
+The simulation engine in :mod:`repro.federated.engine` is agnostic to which
+algorithm it runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.federated.client import ClientState
+    from repro.federated.local_problem import LocalProblem
+    from repro.federated.messages import ClientMessage
+
+
+@dataclass
+class LocalTrainingConfig:
+    """Per-round local-training knobs handed to :meth:`local_update`.
+
+    ``epochs`` is the realised number of local epochs for this client in this
+    round (drawn by the system-heterogeneity policy); ``batch_size=None``
+    means full-batch, matching the paper's ``B = inf`` setting.
+    """
+
+    epochs: int
+    batch_size: int | None
+    learning_rate: float
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive or None, got {self.batch_size}"
+            )
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+
+
+class FederatedAlgorithm:
+    """Base class for federated optimisation algorithms."""
+
+    name = "base"
+
+    # ------------------------------------------------------------------ #
+    # State initialisation
+    # ------------------------------------------------------------------ #
+    def init_server_state(
+        self, initial_params: np.ndarray, num_clients: int
+    ) -> dict[str, np.ndarray]:
+        """Create the server's persistent state (empty for most methods)."""
+        return {}
+
+    def init_client_state(
+        self, client: ClientState, initial_params: np.ndarray
+    ) -> None:
+        """Lazily create the client's persistent variables (no-op by default)."""
+
+    # ------------------------------------------------------------------ #
+    # The two halves of a round
+    # ------------------------------------------------------------------ #
+    def local_update(
+        self,
+        problem: LocalProblem,
+        client: ClientState,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+        rng: SeedLike = None,
+    ) -> ClientMessage:
+        """Run local training for one selected client and build its upload."""
+        raise NotImplementedError
+
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        messages: list[ClientMessage],
+        num_clients: int,
+        round_index: int,
+    ) -> np.ndarray:
+        """Combine client messages into the next global model."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Communication accounting
+    # ------------------------------------------------------------------ #
+    def download_floats(self, dim: int) -> int:
+        """Scalars downloaded by one selected client per round.
+
+        Every method ships the global model; SCAFFOLD additionally ships the
+        server control variate and overrides this.
+        """
+        return dim
+
+    def upload_floats(self, dim: int) -> int:
+        """Scalars uploaded by one selected client per round (nominal)."""
+        return dim
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def run_local_sgd(
+    problem: LocalProblem,
+    start_params: np.ndarray,
+    config: LocalTrainingConfig,
+    rng: SeedLike,
+    extra_grad=None,
+) -> tuple[np.ndarray, float]:
+    """Run ``config.epochs`` epochs of SGD on the local loss plus an optional term.
+
+    Parameters
+    ----------
+    extra_grad:
+        Optional callable ``extra_grad(params) -> np.ndarray`` added to every
+        stochastic gradient.  FedProx passes ``rho * (w - theta)``; FedADMM
+        passes ``y + rho * (w - theta)``; SCAFFOLD passes ``c - c_i``.
+
+    Returns
+    -------
+    (final_params, mean_train_loss)
+        The locally trained parameters and the mean mini-batch loss observed
+        over all steps (the value of the *local data loss*, excluding the
+        extra term, which is what the paper plots).
+    """
+    params = np.array(start_params, dtype=np.float64, copy=True)
+    losses: list[float] = []
+    for _ in range(config.epochs):
+        for features, labels in problem.minibatches(config.batch_size, rng=rng):
+            loss_value, grad = problem.loss_and_grad(params, features, labels)
+            losses.append(loss_value)
+            if extra_grad is not None:
+                grad = grad + extra_grad(params)
+            params -= config.learning_rate * grad
+    mean_loss = float(np.mean(losses)) if losses else float("nan")
+    return params, mean_loss

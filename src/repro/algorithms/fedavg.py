@@ -1,0 +1,73 @@
+"""FedAvg (McMahan et al., 2017).
+
+Each selected client downloads θ, runs E epochs of SGD on its local loss
+starting from θ, and uploads the resulting model; the server averages the
+uploaded models.  Following the paper's experimental protocol, aggregation
+uses equal client weights by default (``weighting="uniform"``), with
+volume-proportional weights available as an option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    FederatedAlgorithm,
+    LocalTrainingConfig,
+    run_local_sgd,
+)
+from repro.core.admm_server import average_aggregate
+from repro.exceptions import ConfigurationError
+from repro.federated.client import ClientState
+from repro.federated.local_problem import LocalProblem
+from repro.federated.messages import ClientMessage
+from repro.utils.rng import SeedLike
+
+
+class FedAvg(FederatedAlgorithm):
+    """Local SGD from the global model, plain model averaging at the server."""
+
+    name = "fedavg"
+
+    def __init__(self, weighting: str = "uniform"):
+        if weighting not in ("uniform", "samples"):
+            raise ConfigurationError(
+                f"weighting must be 'uniform' or 'samples', got {weighting!r}"
+            )
+        self.weighting = weighting
+
+    def local_update(
+        self,
+        problem: LocalProblem,
+        client: ClientState,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+        rng: SeedLike = None,
+    ) -> ClientMessage:
+        params, train_loss = run_local_sgd(problem, global_params, config, rng=rng)
+        client.record_participation(config.epochs)
+        return ClientMessage(
+            client_id=client.client_id,
+            payload={"params": params},
+            num_samples=problem.num_samples,
+            local_epochs=config.epochs,
+            train_loss=train_loss,
+        )
+
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        messages: list[ClientMessage],
+        num_clients: int,
+        round_index: int,
+    ) -> np.ndarray:
+        if not messages:
+            raise ConfigurationError("FedAvg.aggregate needs at least one message")
+        models = [msg.payload["params"] for msg in messages]
+        if self.weighting == "samples":
+            weights = [msg.num_samples for msg in messages]
+            return average_aggregate(models, weights=weights)
+        return average_aggregate(models)

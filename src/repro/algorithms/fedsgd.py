@@ -1,0 +1,64 @@
+"""FedSGD: one exact local gradient per round, averaged at the server.
+
+Each selected client evaluates the full gradient of its local loss at the
+current global model and uploads it; the server applies one SGD step with the
+averaged gradient.  FedSGD is the slowest baseline in the paper's Table III
+and serves as the reference point for every speedup factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import FederatedAlgorithm, LocalTrainingConfig
+from repro.exceptions import ConfigurationError
+from repro.federated.client import ClientState
+from repro.federated.local_problem import LocalProblem
+from repro.federated.messages import ClientMessage
+from repro.utils.rng import SeedLike
+
+
+class FedSGD(FederatedAlgorithm):
+    """Distributed synchronous SGD over the selected clients."""
+
+    name = "fedsgd"
+
+    def __init__(self, server_learning_rate: float = 0.1):
+        if server_learning_rate <= 0:
+            raise ConfigurationError(
+                f"server_learning_rate must be positive, got {server_learning_rate}"
+            )
+        self.server_learning_rate = server_learning_rate
+
+    def local_update(
+        self,
+        problem: LocalProblem,
+        client: ClientState,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+        rng: SeedLike = None,
+    ) -> ClientMessage:
+        loss_value, grad = problem.full_loss_and_grad(global_params)
+        client.record_participation(epochs=1)
+        return ClientMessage(
+            client_id=client.client_id,
+            payload={"gradient": grad},
+            num_samples=problem.num_samples,
+            local_epochs=1,
+            train_loss=loss_value,
+        )
+
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        messages: list[ClientMessage],
+        num_clients: int,
+        round_index: int,
+    ) -> np.ndarray:
+        if not messages:
+            raise ConfigurationError("FedSGD.aggregate needs at least one message")
+        gradients = np.stack([msg.payload["gradient"] for msg in messages])
+        return global_params - self.server_learning_rate * gradients.mean(axis=0)

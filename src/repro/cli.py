@@ -1,0 +1,237 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli --list
+    python -m repro.cli table3 --dataset mnist --non-iid --rounds 25
+    python -m repro.cli fig6 --rounds 30 --output fig6.json
+    python -m repro.cli table5 --dataset fmnist --clients 40
+
+Each experiment name corresponds to one of the paper's tables/figures (the
+same mapping as the DESIGN.md per-experiment index and the ``benchmarks/``
+suite); the command prints the regenerated rows/series and can optionally
+save the raw numbers as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.experiments.configs import (
+    AlgorithmSpec,
+    default_algorithms,
+    fig3_config,
+    fig5_config,
+    fig6_config,
+    fig8_config,
+    fig9_config,
+    table3_config,
+    table4_config,
+    table5_config,
+    table6_config,
+)
+from repro.experiments.figures import accuracy_series, series_to_text
+from repro.experiments.runner import (
+    run_comparison,
+    run_heterogeneity_comparison,
+    run_imbalanced_study,
+    run_local_epochs_study,
+    run_local_init_study,
+    run_rho_schedule_study,
+    run_rho_sensitivity_table,
+    run_scale_sweep,
+    run_server_stepsize_study,
+    rounds_summary,
+)
+from repro.experiments.tables import format_table, table3_text
+from repro.utils.serialization import save_json, to_jsonable
+
+EXPERIMENTS = {
+    "table1": "Table I   — round-complexity predictors (closed form, no training)",
+    "table3": "Table III — rounds to target accuracy for all algorithms",
+    "table4": "Table IV / Fig. 7 — FedADMM vs local epoch count E",
+    "table5": "Table V   — rho sensitivity of FedProx vs fixed-rho FedADMM",
+    "table6": "Table VI / Fig. 10 — imbalanced data volumes",
+    "fig3": "Fig. 3/4  — scaling the client population",
+    "fig5": "Fig. 5    — IID vs non-IID adaptability",
+    "fig6": "Fig. 6    — server step size study",
+    "fig8": "Fig. 8    — local initialisation (warm start vs restart)",
+    "fig9": "Fig. 9    — dynamic rho schedule",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the FedADMM paper's tables and figures.",
+    )
+    parser.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument("--dataset", default="mnist",
+                        choices=["mnist", "fmnist", "cifar10", "blobs"])
+    parser.add_argument("--non-iid", action="store_true",
+                        help="use the two-shards-per-client non-IID partition")
+    parser.add_argument("--scale", default="bench", choices=["bench", "paper"],
+                        help="bench = laptop-friendly presets, paper = full scale")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="override the preset client population")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the preset round budget")
+    parser.add_argument("--rho", type=float, default=0.3,
+                        help="FedADMM proximal coefficient (bench default 0.3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="optional path to save the raw results as JSON")
+    return parser
+
+
+def _apply_overrides(config, args):
+    overrides: dict[str, Any] = {"seed": args.seed}
+    if args.rounds is not None:
+        overrides["num_rounds"] = args.rounds
+    if args.clients is not None:
+        overrides["num_clients"] = args.clients
+    return config.with_overrides(**overrides)
+
+
+def _run_table1() -> dict:
+    from repro.core.convergence import COMPLEXITY_TABLE, round_complexity
+
+    rows = []
+    for epsilon in (1e-2, 1e-3, 1e-4):
+        for method in COMPLEXITY_TABLE:
+            rows.append(
+                {
+                    "epsilon": epsilon,
+                    "method": method,
+                    "predicted_rounds": round_complexity(
+                        method, epsilon, num_clients=1000, num_selected=100,
+                        dissimilarity_b=3.0, gradient_bound_g=3.0,
+                    ),
+                }
+            )
+    print(format_table(rows))
+    return {"rows": rows}
+
+
+def _comparison_report(comparison) -> dict:
+    print(table3_text({comparison.config.name: comparison}))
+    return {
+        "config": comparison.config.name,
+        "summary": rounds_summary(comparison),
+    }
+
+
+def _series_report(results) -> dict:
+    series = {label: accuracy_series(result) for label, result in results.items()}
+    print(series_to_text(series, max_points=15))
+    return {"series": series}
+
+
+def run_experiment(name: str, args) -> dict:
+    """Run one named experiment and return a JSON-serialisable result summary."""
+    admm_rho = args.rho
+    if name == "table1":
+        return _run_table1()
+    if name == "table3":
+        config = _apply_overrides(
+            table3_config(args.dataset, non_iid=args.non_iid, scale=args.scale,
+                          num_clients=args.clients), args)
+        return _comparison_report(
+            run_comparison(config, default_algorithms(admm_rho=admm_rho))
+        )
+    if name == "table4":
+        config = _apply_overrides(
+            table4_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
+        results = run_local_epochs_study(config, rho=admm_rho)
+        rows = [
+            {"E": epochs, "rounds_to_target": result.rounds_to_target,
+             "final_accuracy": result.history.final_accuracy()}
+            for epochs, result in results.items()
+        ]
+        print(format_table(rows))
+        return {"rows": rows}
+    if name == "table5":
+        config = _apply_overrides(
+            table5_config(args.dataset, num_clients=args.clients,
+                          non_iid=True, scale=args.scale), args)
+        table = run_rho_sensitivity_table({config.name: config}, admm_rho=admm_rho)
+        return {
+            column: _comparison_report(comparison) for column, comparison in table.items()
+        }
+    if name == "table6":
+        config = _apply_overrides(table6_config(args.dataset, scale=args.scale), args)
+        comparison = run_imbalanced_study(
+            config,
+            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
+             AlgorithmSpec("fedprox", {"rho": 0.1}), AlgorithmSpec("scaffold", {})],
+        )
+        print(format_table([comparison.partition_stats.as_table_row()]))
+        return _comparison_report(comparison)
+    if name == "fig3":
+        base = _apply_overrides(
+            fig3_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
+        populations = [base.num_clients, base.num_clients * 2]
+        sweeps = run_scale_sweep(
+            base, populations,
+            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {})],
+        )
+        return {
+            str(population): _comparison_report(comparison)
+            for population, comparison in sweeps.items()
+        }
+    if name == "fig5":
+        config_iid = _apply_overrides(
+            fig5_config(args.dataset, non_iid=False, scale=args.scale), args)
+        config_non_iid = _apply_overrides(
+            fig5_config(args.dataset, non_iid=True, scale=args.scale), args)
+        outcome = run_heterogeneity_comparison(
+            config_iid, config_non_iid,
+            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
+             AlgorithmSpec("fedprox", {"rho": 0.1}), AlgorithmSpec("scaffold", {})],
+        )
+        return {
+            setting: _comparison_report(comparison) for setting, comparison in outcome.items()
+        }
+    if name == "fig6":
+        config = _apply_overrides(
+            fig6_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
+        results = run_server_stepsize_study(
+            config, switch_round=config.num_rounds // 2, rho=admm_rho)
+        return _series_report(results)
+    if name == "fig8":
+        config = _apply_overrides(
+            fig8_config(args.dataset, non_iid=True, scale=args.scale), args)
+        return _series_report(run_local_init_study(config, rho=admm_rho))
+    if name == "fig9":
+        config = _apply_overrides(
+            fig9_config(args.dataset, non_iid=True, scale=args.scale), args)
+        results = run_rho_schedule_study(
+            config, constant_rhos=(admm_rho / 3, admm_rho),
+            switch_round=config.num_rounds // 2,
+            switch_values=(admm_rho / 3, admm_rho))
+        return _series_report(results)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.cli``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        print("Available experiments:\n")
+        for name, description in sorted(EXPERIMENTS.items()):
+            print(f"  {name:8s} {description}")
+        return 0
+    result = run_experiment(args.experiment, args)
+    if args.output:
+        path = save_json(to_jsonable(result), args.output)
+        print(f"\nSaved raw results to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""FedADMM core: the paper's primary contribution, decomposed into parts.
+
+* :mod:`repro.core.augmented_lagrangian` — the local objective
+  ``L_i(w_i, y_i, θ)`` of eq. (3) and its gradient.
+* :mod:`repro.core.dual` — dual updates, the augmented model
+  ``u_i = w_i + y_i / ρ``, the update message ``Δ_i`` of eq. (4), and KKT
+  residuals.
+* :mod:`repro.core.admm_client` — ``ClientUpdate`` (Algorithm 1, lines 12–21).
+* :mod:`repro.core.admm_server` — the tracking server update of eq. (5).
+* :mod:`repro.core.stepsize` — server step-size policies η.
+* :mod:`repro.core.rho` — proximal-coefficient schedules ρ.
+* :mod:`repro.core.convergence` — Theorem 1 constants, the optimality gap
+  ``V_t`` of eq. (7), and the Table I round-complexity predictors.
+"""
+
+from repro.core.augmented_lagrangian import AugmentedLagrangian
+from repro.core.dual import (
+    augmented_model,
+    dual_update,
+    update_message,
+    kkt_residuals,
+    KKTResiduals,
+)
+from repro.core.admm_client import AdmmClientResult, admm_client_update
+from repro.core.admm_server import admm_server_update, average_aggregate
+from repro.core.stepsize import (
+    ServerStepSize,
+    ConstantStepSize,
+    ParticipationScaledStepSize,
+    PiecewiseStepSize,
+)
+from repro.core.rho import RhoSchedule, ConstantRho, PiecewiseRho
+from repro.core.convergence import (
+    Theorem1Constants,
+    theorem1_constants,
+    minimum_rho,
+    optimality_gap,
+    expected_rounds_bound,
+    round_complexity,
+    COMPLEXITY_TABLE,
+)
+
+__all__ = [
+    "AugmentedLagrangian",
+    "augmented_model",
+    "dual_update",
+    "update_message",
+    "kkt_residuals",
+    "KKTResiduals",
+    "AdmmClientResult",
+    "admm_client_update",
+    "admm_server_update",
+    "average_aggregate",
+    "ServerStepSize",
+    "ConstantStepSize",
+    "ParticipationScaledStepSize",
+    "PiecewiseStepSize",
+    "RhoSchedule",
+    "ConstantRho",
+    "PiecewiseRho",
+    "Theorem1Constants",
+    "theorem1_constants",
+    "minimum_rho",
+    "optimality_gap",
+    "expected_rounds_bound",
+    "round_complexity",
+    "COMPLEXITY_TABLE",
+]

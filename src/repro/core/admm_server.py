@@ -1,0 +1,48 @@
+"""FedADMM server aggregation — the tracking update of eq. (5).
+
+    θ_{t+1} = θ_t + (η / |S_t|) Σ_{i ∈ S_t} Δ_i.
+
+Because Δ_i is a *difference* of augmented models, the server effectively
+tracks the running average of all clients' augmented models (exactly so when
+η = |S_t| / m, as used in the analysis), which incorporates past information
+and damps oscillations compared to FedAvg-style re-averaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def admm_server_update(
+    theta: np.ndarray, deltas: list[np.ndarray], eta: float
+) -> np.ndarray:
+    """Apply eq. (5) given the selected clients' update messages."""
+    if not deltas:
+        raise ConfigurationError("server update requires at least one client message")
+    if eta <= 0:
+        raise ConfigurationError(f"server step size eta must be positive, got {eta}")
+    stacked = np.stack(deltas)
+    return theta + (eta / len(deltas)) * stacked.sum(axis=0)
+
+
+def average_aggregate(client_params: list[np.ndarray], weights=None) -> np.ndarray:
+    """FedAvg-style (weighted) averaging of uploaded client models.
+
+    Used by the baselines and by the tracking-vs-averaging ablation bench.
+    """
+    if not client_params:
+        raise ConfigurationError("average_aggregate requires at least one model")
+    stacked = np.stack(client_params)
+    if weights is None:
+        return stacked.mean(axis=0)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (stacked.shape[0],):
+        raise ConfigurationError(
+            f"weights shape {weights.shape} does not match {stacked.shape[0]} models"
+        )
+    total = weights.sum()
+    if total <= 0:
+        raise ConfigurationError("weights must sum to a positive value")
+    return (stacked * weights[:, None]).sum(axis=0) / total

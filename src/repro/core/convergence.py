@@ -1,0 +1,190 @@
+"""Convergence-theory helpers: Theorem 1, the optimality gap V_t, Table I.
+
+These functions turn the paper's analysis into executable checks used by the
+tests and by the Table I benchmark:
+
+* :func:`minimum_rho` — the requirement ρ > (1 + √5) L of Theorem 1.
+* :func:`theorem1_constants` — the constants c₁, c₂, c₃ appearing in eq. (8).
+* :func:`expected_rounds_bound` — the right-hand side of eq. (8) rearranged
+  to bound the number of rounds needed to reach a target gap.
+* :func:`optimality_gap` — the non-negative function V_t of eq. (7).
+* :func:`round_complexity` / :data:`COMPLEXITY_TABLE` — the communication-
+  round complexities of Table I for FedAvg, FedProx, SCAFFOLD, FedPD, and
+  FedADMM as callable predictors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConvergenceError
+
+
+def minimum_rho(lipschitz_constant: float) -> float:
+    """The smallest ρ allowed by Theorem 1: ``(1 + sqrt(5)) * L``."""
+    if lipschitz_constant < 0:
+        raise ConfigurationError(
+            f"lipschitz_constant must be non-negative, got {lipschitz_constant}"
+        )
+    return (1.0 + math.sqrt(5.0)) * lipschitz_constant
+
+
+@dataclass
+class Theorem1Constants:
+    """The constants of eq. (8) for a given (ρ, L, p_min)."""
+
+    rho: float
+    lipschitz: float
+    p_min: float
+    c1: float
+    c2: float
+    c3: float
+
+    def is_valid(self) -> bool:
+        """Whether c₁ > 0, i.e. the bound is meaningful for this (ρ, L, p_min)."""
+        return self.c1 > 0
+
+
+def theorem1_constants(rho: float, lipschitz: float, p_min: float) -> Theorem1Constants:
+    """Compute c₁, c₂, c₃ as defined below eq. (8).
+
+    c₁ = p_min ((ρ − 2L)/2 − 2L²/ρ)
+    c₂ = 3 (L² + ρ²) + 2 (1 + 2L²/ρ²)
+    c₃ = 3 + 16/ρ² + (c₂ / c₁) · (ρ + 16L) / (2 L ρ)
+    """
+    if rho <= 0:
+        raise ConfigurationError(f"rho must be positive, got {rho}")
+    if lipschitz <= 0:
+        raise ConfigurationError(f"lipschitz must be positive, got {lipschitz}")
+    if not 0 < p_min <= 1:
+        raise ConfigurationError(f"p_min must lie in (0, 1], got {p_min}")
+
+    c1 = p_min * ((rho - 2.0 * lipschitz) / 2.0 - 2.0 * lipschitz**2 / rho)
+    c2 = 3.0 * (lipschitz**2 + rho**2) + 2.0 * (1.0 + 2.0 * lipschitz**2 / rho**2)
+    if c1 <= 0:
+        # c3 involves c2/c1; keep it NaN so callers see the bound is vacuous.
+        c3 = float("nan")
+    else:
+        c3 = 3.0 + 16.0 / rho**2 + (c2 / c1) * (rho + 16.0 * lipschitz) / (
+            2.0 * lipschitz * rho
+        )
+    return Theorem1Constants(
+        rho=rho, lipschitz=lipschitz, p_min=p_min, c1=c1, c2=c2, c3=c3
+    )
+
+
+def expected_rounds_bound(
+    target_gap: float,
+    initial_lagrangian: float,
+    f_star: float,
+    num_clients: int,
+    constants: Theorem1Constants,
+    epsilon_max: float = 0.0,
+) -> float:
+    """Rounds T needed so the RHS of eq. (8) drops below ``target_gap``.
+
+    Eq. (8):  (1/mT) Σ E[V_t] ≤ (1/mT)(c₂/c₁)(L⁰ − f* + m ε_max / 2L) + c₃ ε_max.
+
+    Solving for the smallest T that makes the right-hand side ≤ target_gap
+    (requires target_gap > c₃ ε_max; otherwise the bound can never certify
+    the target and a :class:`ConvergenceError` is raised).
+    """
+    if target_gap <= 0:
+        raise ConfigurationError(f"target_gap must be positive, got {target_gap}")
+    if num_clients <= 0:
+        raise ConfigurationError(f"num_clients must be positive, got {num_clients}")
+    if not constants.is_valid():
+        raise ConvergenceError(
+            "Theorem 1 constants are invalid (c1 <= 0); increase rho above "
+            f"{minimum_rho(constants.lipschitz):.4g}"
+        )
+    floor = constants.c3 * epsilon_max if epsilon_max > 0 else 0.0
+    if target_gap <= floor:
+        raise ConvergenceError(
+            f"target gap {target_gap} is below the inexactness floor {floor:.4g}; "
+            "decrease epsilon_max"
+        )
+    numerator = (constants.c2 / constants.c1) * (
+        initial_lagrangian
+        - f_star
+        + num_clients * epsilon_max / (2.0 * constants.lipschitz)
+    )
+    return max(1.0, numerator / (num_clients * (target_gap - floor)))
+
+
+def optimality_gap(
+    client_params: list[np.ndarray],
+    client_dual_grads: list[np.ndarray],
+    theta: np.ndarray,
+    theta_grad: np.ndarray | None = None,
+) -> float:
+    """The non-negative function V_t of eq. (7).
+
+    V_t = ‖∇_θ L‖² + Σ_i ( ‖∇_{w_i} L_i‖² + ‖w_i − θ‖² )
+
+    ``client_dual_grads[i]`` must be ``∇_{w_i} L_i`` evaluated at the current
+    iterates; ``theta_grad`` is ``∇_θ L`` and defaults to zero, which is exact
+    under the paper's initialisation and η = |S_t|/m (eq. 20 shows it vanishes
+    identically).
+    """
+    if len(client_params) != len(client_dual_grads):
+        raise ConfigurationError(
+            "client_params and client_dual_grads must have the same length"
+        )
+    total = 0.0
+    if theta_grad is not None:
+        total += float(theta_grad @ theta_grad)
+    for w, grad in zip(client_params, client_dual_grads):
+        diff = w - theta
+        total += float(grad @ grad) + float(diff @ diff)
+    return total
+
+
+def round_complexity(
+    method: str,
+    epsilon: float,
+    num_clients: int,
+    num_selected: int,
+    dissimilarity_b: float = 1.0,
+    gradient_bound_g: float = 1.0,
+) -> float:
+    """Table I: predicted communication rounds to reach an ε-stationary point.
+
+    The constants hidden by the O(·) notation are set to 1, so the value is a
+    *scaling law*, useful for comparing how methods degrade with ε, m, and S.
+    """
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+    if num_clients <= 0 or num_selected <= 0 or num_selected > num_clients:
+        raise ConfigurationError(
+            f"need 0 < num_selected <= num_clients, got ({num_selected}, {num_clients})"
+        )
+    m, s = float(num_clients), float(num_selected)
+    b, g = float(dissimilarity_b), float(gradient_bound_g)
+    key = method.lower()
+    if key == "fedavg":
+        return (1.0 / epsilon**2) * (m - s) / (m * s) + g / epsilon**1.5 + b**2 / epsilon
+    if key == "fedprox":
+        return b**2 / epsilon
+    if key == "scaffold":
+        return 1.0 / epsilon**2 + (1.0 / epsilon) * (m / s) ** (2.0 / 3.0)
+    if key == "fedpd":
+        return 1.0 / epsilon
+    if key == "fedadmm":
+        return (1.0 / epsilon) * (m / s)
+    raise ConfigurationError(
+        f"unknown method {method!r}; known: fedavg, fedprox, scaffold, fedpd, fedadmm"
+    )
+
+
+#: The rows of Table I as (method, formula description) pairs.
+COMPLEXITY_TABLE: dict[str, str] = {
+    "fedavg": "O(1/eps^2 * (m-S)/(mS) + G/eps^{3/2} + B^2/eps)",
+    "fedprox": "O(B^2/eps)  [requires S > B^2]",
+    "scaffold": "O(1/eps^2 + 1/eps * (m/S)^{2/3})",
+    "fedpd": "O(1/eps)  [requires full participation]",
+    "fedadmm": "O(1/eps * (m/S))",
+}

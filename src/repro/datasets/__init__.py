@@ -1,0 +1,33 @@
+"""Datasets: containers, transforms, and synthetic stand-ins.
+
+The paper evaluates on MNIST, Fashion-MNIST, and CIFAR-10.  This environment
+has no network access, so :mod:`repro.datasets.synthetic` generates
+deterministic, learnable class-prototype image datasets with the same shapes
+and class counts.  The generators are registered under the original dataset
+names in :mod:`repro.datasets.registry` so experiment configs read exactly
+like the paper's.
+"""
+
+from repro.datasets.base import Dataset, TrainTestSplit, iterate_minibatches
+from repro.datasets.synthetic import (
+    SyntheticImageSpec,
+    make_synthetic_images,
+    make_blobs,
+)
+from repro.datasets.registry import DATASET_REGISTRY, load_dataset, DatasetInfo
+from repro.datasets.transforms import normalize_features, flatten_images, standardize
+
+__all__ = [
+    "Dataset",
+    "TrainTestSplit",
+    "iterate_minibatches",
+    "SyntheticImageSpec",
+    "make_synthetic_images",
+    "make_blobs",
+    "DATASET_REGISTRY",
+    "DatasetInfo",
+    "load_dataset",
+    "normalize_features",
+    "flatten_images",
+    "standardize",
+]

@@ -1,0 +1,45 @@
+"""Feature transforms applied before federated training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ShapeError
+
+
+def flatten_images(dataset: Dataset) -> Dataset:
+    """Flatten ``(n, c, h, w)`` image features into ``(n, c*h*w)`` vectors."""
+    features = dataset.features
+    if features.ndim == 2:
+        return dataset
+    return Dataset(
+        features=features.reshape(features.shape[0], -1),
+        labels=dataset.labels,
+        name=dataset.name,
+    )
+
+
+def normalize_features(dataset: Dataset, low: float = 0.0, high: float = 1.0) -> Dataset:
+    """Min-max scale features to ``[low, high]`` (computed globally)."""
+    if high <= low:
+        raise ShapeError(f"high must exceed low, got [{low}, {high}]")
+    features = dataset.features
+    f_min, f_max = features.min(), features.max()
+    span = max(f_max - f_min, 1e-12)
+    scaled = (features - f_min) / span * (high - low) + low
+    return Dataset(features=scaled, labels=dataset.labels, name=dataset.name)
+
+
+def standardize(dataset: Dataset, epsilon: float = 1e-8) -> Dataset:
+    """Standardise features to zero mean / unit variance per dimension."""
+    features = dataset.features
+    flat = features.reshape(features.shape[0], -1)
+    mean = flat.mean(axis=0)
+    std = flat.std(axis=0)
+    standardized = (flat - mean) / np.maximum(std, epsilon)
+    return Dataset(
+        features=standardized.reshape(features.shape),
+        labels=dataset.labels,
+        name=dataset.name,
+    )

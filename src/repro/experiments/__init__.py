@@ -1,0 +1,75 @@
+"""Experiment harness: presets, runner, and formatting for every table/figure.
+
+Each table and figure of the paper's Section V maps to
+
+* a configuration preset in :mod:`repro.experiments.configs`,
+* a runner entry point in :mod:`repro.experiments.runner`, and
+* a benchmark under ``benchmarks/`` that calls the runner and prints the
+  regenerated rows/series.
+
+Presets come in two scales: ``"bench"`` (laptop-CPU friendly, used by the
+benchmark suite) and ``"paper"`` (the paper's population sizes and sample
+counts, for users with more time/hardware).
+"""
+
+from repro.experiments.configs import (
+    ExperimentConfig,
+    AlgorithmSpec,
+    default_algorithms,
+    table3_config,
+    table4_config,
+    table5_config,
+    table6_config,
+    fig3_config,
+    fig5_config,
+    fig6_config,
+    fig8_config,
+    fig9_config,
+)
+from repro.experiments.runner import (
+    run_single,
+    run_comparison,
+    run_rounds_to_target_table,
+    run_scale_sweep,
+    run_heterogeneity_comparison,
+    run_server_stepsize_study,
+    run_local_epochs_study,
+    run_local_init_study,
+    run_rho_sensitivity_table,
+    run_rho_schedule_study,
+    run_imbalanced_study,
+    ComparisonResult,
+)
+from repro.experiments.tables import format_table, comparison_to_rows
+from repro.experiments.figures import accuracy_series, series_to_text
+
+__all__ = [
+    "ExperimentConfig",
+    "AlgorithmSpec",
+    "default_algorithms",
+    "table3_config",
+    "table4_config",
+    "table5_config",
+    "table6_config",
+    "fig3_config",
+    "fig5_config",
+    "fig6_config",
+    "fig8_config",
+    "fig9_config",
+    "run_single",
+    "run_comparison",
+    "run_rounds_to_target_table",
+    "run_scale_sweep",
+    "run_heterogeneity_comparison",
+    "run_server_stepsize_study",
+    "run_local_epochs_study",
+    "run_local_init_study",
+    "run_rho_sensitivity_table",
+    "run_rho_schedule_study",
+    "run_imbalanced_study",
+    "ComparisonResult",
+    "format_table",
+    "comparison_to_rows",
+    "accuracy_series",
+    "series_to_text",
+]

@@ -1,0 +1,360 @@
+"""Experiment runner: build a simulation from a config and regenerate results.
+
+``run_single`` turns an :class:`ExperimentConfig` plus an
+:class:`AlgorithmSpec` into a finished :class:`SimulationResult`; the
+``run_*`` study functions orchestrate the sweeps behind each table and
+figure of the paper's evaluation and return plain data structures that the
+benchmarks print and the tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.algorithms import build_algorithm
+from repro.algorithms.base import FederatedAlgorithm
+from repro.core.rho import PiecewiseRho
+from repro.core.stepsize import PiecewiseStepSize
+from repro.datasets.base import TrainTestSplit
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import AlgorithmSpec, ExperimentConfig
+from repro.federated.client import ClientState, build_clients
+from repro.federated.engine import FederatedSimulation, SimulationResult
+from repro.federated.heterogeneity import FixedEpochs, UniformRandomEpochs
+from repro.federated.sampler import UniformFractionSampler
+from repro.metrics.rounds_to_target import RoundsToTarget, format_rounds, rounds_to_target
+from repro.metrics.speedup import reduction_vs_best_baseline, speedup_vs_reference
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import build_model
+from repro.partition import build_partitioner, compute_partition_stats
+from repro.partition.stats import PartitionStats
+from repro.utils.rng import RngFactory
+
+#: Algorithms that, per the paper's protocol, tolerate variable local work
+#: (the uniform 1..E epoch draw); the others always run exactly E epochs.
+_VARIABLE_WORK_ALGORITHMS = {"fedadmm", "fedprox", "fedpd"}
+
+
+# --------------------------------------------------------------------------- #
+# Building blocks
+# --------------------------------------------------------------------------- #
+def prepare_environment(
+    config: ExperimentConfig,
+) -> tuple[TrainTestSplit, list[ClientState], PartitionStats]:
+    """Load the dataset, partition it, and build client states."""
+    split = load_dataset(
+        config.dataset,
+        n_train=config.n_train,
+        n_test=config.n_test,
+        rng=config.seed,
+    )
+    partitioner = build_partitioner(config.partition, **config.partition_kwargs)
+    partition = partitioner.partition(split.train, config.num_clients, rng=config.seed)
+    clients = build_clients(split.train, partition)
+    stats = compute_partition_stats(partition, split.train)
+    return split, clients, stats
+
+
+def _work_policy(config: ExperimentConfig, algorithm_name: str):
+    if config.system_heterogeneity and algorithm_name in _VARIABLE_WORK_ALGORITHMS:
+        return UniformRandomEpochs(max_epochs=config.local_epochs)
+    return FixedEpochs(config.local_epochs)
+
+
+def build_simulation(
+    config: ExperimentConfig,
+    algorithm: FederatedAlgorithm | AlgorithmSpec,
+    clients: list[ClientState] | None = None,
+    split: TrainTestSplit | None = None,
+) -> FederatedSimulation:
+    """Construct a :class:`FederatedSimulation` from a config and algorithm.
+
+    ``clients``/``split`` may be passed in so that several algorithms are
+    compared on identical data; when omitted they are regenerated from the
+    config (deterministically, from its seed).
+    """
+    if isinstance(algorithm, AlgorithmSpec):
+        algorithm = build_algorithm(algorithm.name, **algorithm.kwargs)
+    if clients is None or split is None:
+        split, clients, _ = prepare_environment(config)
+
+    # Every algorithm starts from the same random initialisation: the model
+    # seed depends only on the experiment seed.
+    model_rng = RngFactory(config.seed).make("model-init")
+    model = build_model(config.model, rng=model_rng, **config.model_kwargs)
+
+    return FederatedSimulation(
+        algorithm=algorithm,
+        model=model,
+        clients=clients,
+        test_dataset=split.test,
+        loss=CrossEntropyLoss(),
+        sampler=UniformFractionSampler(config.client_fraction),
+        local_work=_work_policy(config, algorithm.name),
+        batch_size=config.batch_size,
+        learning_rate=config.learning_rate,
+        seed=config.seed,
+        eval_every=config.eval_every,
+    )
+
+
+def run_single(
+    config: ExperimentConfig,
+    algorithm: FederatedAlgorithm | AlgorithmSpec,
+    stop_at_target: bool = True,
+) -> SimulationResult:
+    """Run one algorithm under one configuration."""
+    simulation = build_simulation(config, algorithm)
+    return simulation.run(
+        config.num_rounds,
+        target_accuracy=config.target_accuracy,
+        stop_at_target=stop_at_target,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Comparisons (Table III core machinery, reused by most figures)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ComparisonResult:
+    """Results of several algorithms under one configuration."""
+
+    config: ExperimentConfig
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+    partition_stats: PartitionStats | None = None
+
+    def rounds(self, label: str) -> int | None:
+        """Rounds to target for one algorithm label, or ``None``."""
+        return self.results[label].rounds_to_target
+
+    def rounds_table(self) -> dict[str, int | None]:
+        """Label -> rounds-to-target mapping."""
+        return {label: res.rounds_to_target for label, res in self.results.items()}
+
+    def speedups_vs(self, reference_label: str) -> dict[str, float | None]:
+        """Speedup of every algorithm relative to ``reference_label``."""
+        reference = self.rounds(reference_label)
+        return {
+            label: speedup_vs_reference(res.rounds_to_target, reference)
+            for label, res in self.results.items()
+        }
+
+    def reduction_of(self, method_label: str) -> float | None:
+        """Round reduction of ``method_label`` over its best competitor."""
+        baselines = {
+            label: res.rounds_to_target
+            for label, res in self.results.items()
+            if label != method_label
+        }
+        return reduction_vs_best_baseline(self.rounds(method_label), baselines)
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    stop_at_target: bool = True,
+) -> ComparisonResult:
+    """Run several algorithms on identical data and initialisation."""
+    if not algorithms:
+        raise ConfigurationError("run_comparison needs at least one algorithm")
+    split, clients_template, stats = prepare_environment(config)
+    outcome = ComparisonResult(config=config, partition_stats=stats)
+    for spec in algorithms:
+        # Fresh client states per algorithm (persistent variables must not leak
+        # between methods), but identical datasets/partition.
+        clients = [
+            ClientState(client_id=c.client_id, dataset=c.dataset)
+            for c in clients_template
+        ]
+        simulation = build_simulation(config, spec, clients=clients, split=split)
+        outcome.results[spec.label()] = simulation.run(
+            config.num_rounds,
+            target_accuracy=config.target_accuracy,
+            stop_at_target=stop_at_target,
+        )
+    return outcome
+
+
+def run_rounds_to_target_table(
+    configs: dict[str, ExperimentConfig],
+    algorithms: Sequence[AlgorithmSpec],
+) -> dict[str, ComparisonResult]:
+    """Table III: one comparison per column (dataset x population x distribution)."""
+    return {
+        column: run_comparison(config, algorithms) for column, config in configs.items()
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure-specific studies
+# --------------------------------------------------------------------------- #
+def run_scale_sweep(
+    base_config: ExperimentConfig,
+    populations: Sequence[int],
+    algorithms: Sequence[AlgorithmSpec],
+) -> dict[int, ComparisonResult]:
+    """Figs. 3-4: repeat the comparison at several client populations.
+
+    Hyperparameters stay fixed across populations, exactly as in the paper's
+    protocol (tuned once at the smallest population, then reused).
+    """
+    sweeps: dict[int, ComparisonResult] = {}
+    for population in populations:
+        config = base_config.with_overrides(
+            num_clients=population,
+            name=f"{base_config.name}-m{population}",
+        )
+        sweeps[population] = run_comparison(config, algorithms)
+    return sweeps
+
+
+def run_heterogeneity_comparison(
+    config_iid: ExperimentConfig,
+    config_non_iid: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+) -> dict[str, ComparisonResult]:
+    """Fig. 5: the same comparison under IID and non-IID distributions."""
+    return {
+        "iid": run_comparison(config_iid, algorithms),
+        "non_iid": run_comparison(config_non_iid, algorithms),
+    }
+
+
+def run_server_stepsize_study(
+    config: ExperimentConfig,
+    etas: Sequence[float] = (0.5, 1.0, 1.5),
+    switch_round: int | None = None,
+    switch_value: float = 0.5,
+    rho: float = 0.01,
+) -> dict[str, SimulationResult]:
+    """Fig. 6: FedADMM under different server step sizes η.
+
+    If ``switch_round`` is given an additional run decreases η to
+    ``switch_value`` at that round (the paper's mid-run adjustment).
+    """
+    results: dict[str, SimulationResult] = {}
+    for eta in etas:
+        spec_label = f"eta={eta}"
+        algorithm = build_algorithm("fedadmm", rho=rho, server_step_size=eta)
+        results[spec_label] = run_single(config, algorithm, stop_at_target=False)
+    if switch_round is not None:
+        policy = PiecewiseStepSize(values=[1.0, switch_value], boundaries=[switch_round])
+        algorithm = build_algorithm("fedadmm", rho=rho, server_step_size=policy)
+        results[f"eta=1.0->{switch_value}@{switch_round}"] = run_single(
+            config, algorithm, stop_at_target=False
+        )
+    return results
+
+
+def run_local_epochs_study(
+    config: ExperimentConfig,
+    epoch_counts: Sequence[int] = (1, 5, 10),
+    rho: float = 0.01,
+) -> dict[int, SimulationResult]:
+    """Table IV / Fig. 7: rounds to target for FedADMM at several E values."""
+    results: dict[int, SimulationResult] = {}
+    for epochs in epoch_counts:
+        run_config = config.with_overrides(
+            local_epochs=epochs, name=f"{config.name}-E{epochs}"
+        )
+        algorithm = build_algorithm("fedadmm", rho=rho)
+        results[epochs] = run_single(run_config, algorithm, stop_at_target=True)
+    return results
+
+
+def run_local_init_study(
+    config: ExperimentConfig,
+    etas: Sequence[float] = (1.0, 0.5),
+    rho: float = 0.01,
+) -> dict[str, SimulationResult]:
+    """Fig. 8: warm start (init I, from w_i) vs restart (init II, from θ)."""
+    results: dict[str, SimulationResult] = {}
+    for eta in etas:
+        for warm_start, label in ((True, "I-warm"), (False, "II-restart")):
+            algorithm = build_algorithm(
+                "fedadmm", rho=rho, server_step_size=eta, warm_start=warm_start
+            )
+            results[f"{label}-eta={eta}"] = run_single(
+                config, algorithm, stop_at_target=False
+            )
+    return results
+
+
+def run_rho_sensitivity_table(
+    configs: dict[str, ExperimentConfig],
+    prox_rhos: Sequence[float] = (0.01, 0.1, 1.0),
+    admm_rho: float = 0.01,
+) -> dict[str, ComparisonResult]:
+    """Table V: FedProx across ρ values vs FedADMM at fixed ρ."""
+    algorithms = [AlgorithmSpec("fedadmm", {"rho": admm_rho})]
+    algorithms.extend(AlgorithmSpec("fedprox", {"rho": rho}) for rho in prox_rhos)
+    return {
+        column: run_comparison(config, algorithms) for column, config in configs.items()
+    }
+
+
+def run_rho_schedule_study(
+    config: ExperimentConfig,
+    constant_rhos: Sequence[float] = (0.01, 0.1),
+    switch_round: int | None = 10,
+    switch_values: tuple[float, float] = (0.01, 0.1),
+) -> dict[str, SimulationResult]:
+    """Fig. 9: constant vs dynamically increased ρ for FedADMM."""
+    results: dict[str, SimulationResult] = {}
+    for rho in constant_rhos:
+        algorithm = build_algorithm("fedadmm", rho=rho)
+        results[f"rho={rho}"] = run_single(config, algorithm, stop_at_target=False)
+    if switch_round is not None:
+        schedule = PiecewiseRho(values=list(switch_values), boundaries=[switch_round])
+        algorithm = build_algorithm("fedadmm", rho=schedule)
+        label = f"rho={switch_values[0]}->{switch_values[1]}@{switch_round}"
+        results[label] = run_single(config, algorithm, stop_at_target=False)
+    return results
+
+
+def run_imbalanced_study(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+) -> ComparisonResult:
+    """Table VI / Fig. 10: the imbalanced-volume setting."""
+    if config.partition != "imbalanced":
+        raise ConfigurationError(
+            "run_imbalanced_study expects a config using the 'imbalanced' partition"
+        )
+    return run_comparison(config, algorithms, stop_at_target=False)
+
+
+# --------------------------------------------------------------------------- #
+# Convenience extraction
+# --------------------------------------------------------------------------- #
+def rounds_summary(
+    comparison: ComparisonResult,
+) -> dict[str, dict[str, Any]]:
+    """Per-algorithm summary: rounds, formatted rounds, speedup vs FedSGD."""
+    fedsgd_label = next(
+        (label for label in comparison.results if label.startswith("fedsgd")), None
+    )
+    summary: dict[str, dict[str, Any]] = {}
+    for label, result in comparison.results.items():
+        metric = rounds_to_target(
+            result.history,
+            comparison.config.target_accuracy,
+            budget=comparison.config.num_rounds,
+        )
+        speedup = (
+            None
+            if fedsgd_label is None
+            else speedup_vs_reference(
+                metric.rounds, comparison.rounds(fedsgd_label)
+            )
+        )
+        summary[label] = {
+            "rounds": metric.rounds,
+            "formatted": format_rounds(metric),
+            "speedup_vs_fedsgd": speedup,
+            "final_accuracy": result.history.final_accuracy(),
+            "best_accuracy": result.history.best_accuracy(),
+        }
+    return summary

@@ -1,0 +1,84 @@
+"""Plain-text table formatting for regenerated results."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.runner import ComparisonResult, rounds_summary
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_render_cell(row.get(col)) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(cells[i]) for cells in rendered_rows))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+        for cells in rendered_rows
+    )
+    return "\n".join([header, separator, body])
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def comparison_to_rows(
+    comparison: ComparisonResult, column_name: str = "setting"
+) -> list[dict[str, Any]]:
+    """Turn one :class:`ComparisonResult` into Table III-style rows."""
+    summary = rounds_summary(comparison)
+    rows: list[dict[str, Any]] = []
+    for label, info in summary.items():
+        rows.append(
+            {
+                column_name: comparison.config.name,
+                "method": label,
+                "rounds": info["formatted"],
+                "speedup_vs_fedsgd": info["speedup_vs_fedsgd"],
+                "final_accuracy": info["final_accuracy"],
+            }
+        )
+    return rows
+
+
+def table3_text(comparisons: Mapping[str, ComparisonResult]) -> str:
+    """Render a full Table III-style report across several settings."""
+    rows: list[dict[str, Any]] = []
+    for column, comparison in comparisons.items():
+        for row in comparison_to_rows(comparison, column_name="setting"):
+            row["setting"] = column
+            rows.append(row)
+        admm_label = next(
+            (label for label in comparison.results if label.startswith("fedadmm")), None
+        )
+        if admm_label is not None:
+            reduction = comparison.reduction_of(admm_label)
+            rows.append(
+                {
+                    "setting": column,
+                    "method": "reduction(FedADMM vs best baseline)",
+                    "rounds": "-",
+                    "speedup_vs_fedsgd": None,
+                    "final_accuracy": reduction,
+                }
+            )
+    return format_table(
+        rows, columns=["setting", "method", "rounds", "speedup_vs_fedsgd", "final_accuracy"]
+    )

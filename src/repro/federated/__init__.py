@@ -1,0 +1,48 @@
+"""Federated-learning runtime: clients, server, sampling, and the round loop.
+
+The runtime is algorithm-agnostic.  A :class:`repro.algorithms.base.FederatedAlgorithm`
+plugs into :class:`FederatedSimulation`, which drives the canonical FL round
+of Fig. 1 in the paper: select clients, ship the global model, run local
+training, collect update messages, aggregate, evaluate.
+"""
+
+from repro.federated.local_problem import LocalProblem
+from repro.federated.client import ClientState, build_clients
+from repro.federated.sampler import (
+    ClientSampler,
+    UniformFractionSampler,
+    BernoulliSampler,
+    FixedScheduleSampler,
+)
+from repro.federated.heterogeneity import (
+    LocalWorkPolicy,
+    FixedEpochs,
+    UniformRandomEpochs,
+    PerClientEpochs,
+)
+from repro.federated.messages import ClientMessage, CommunicationLedger
+from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.evaluation import evaluate_model, Evaluation
+from repro.federated.engine import FederatedSimulation, SimulationResult
+
+__all__ = [
+    "LocalProblem",
+    "ClientState",
+    "build_clients",
+    "ClientSampler",
+    "UniformFractionSampler",
+    "BernoulliSampler",
+    "FixedScheduleSampler",
+    "LocalWorkPolicy",
+    "FixedEpochs",
+    "UniformRandomEpochs",
+    "PerClientEpochs",
+    "ClientMessage",
+    "CommunicationLedger",
+    "RoundRecord",
+    "TrainingHistory",
+    "evaluate_model",
+    "Evaluation",
+    "FederatedSimulation",
+    "SimulationResult",
+]

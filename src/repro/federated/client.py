@@ -1,0 +1,75 @@
+"""Per-client state.
+
+A :class:`ClientState` owns a client's local dataset and the algorithm's
+persistent variables for that client (for FedADMM the primal/dual pair
+``(w_i, y_i)``; for SCAFFOLD the control variate ``c_i``).  Persistent state
+lives in a plain dict so each algorithm can store whatever it needs without
+the runtime knowing the details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ConfigurationError
+from repro.partition.base import Partition
+
+
+@dataclass
+class ClientState:
+    """One client's data and algorithm-specific persistent variables."""
+
+    client_id: int
+    dataset: Dataset
+    variables: dict[str, np.ndarray] = field(default_factory=dict)
+    rounds_participated: int = 0
+    local_work_done: int = 0
+
+    @property
+    def num_samples(self) -> int:
+        """Local training-set size ``n_i``."""
+        return len(self.dataset)
+
+    def get(self, key: str) -> np.ndarray:
+        """Fetch a persistent variable, raising if it was never initialised."""
+        if key not in self.variables:
+            raise ConfigurationError(
+                f"client {self.client_id} has no variable {key!r}; "
+                f"available: {sorted(self.variables)}"
+            )
+        return self.variables[key]
+
+    def set(self, key: str, value: np.ndarray) -> None:
+        """Store (a copy of) a persistent variable."""
+        self.variables[key] = np.array(value, dtype=np.float64, copy=True)
+
+    def has(self, key: str) -> bool:
+        """Whether the persistent variable ``key`` exists."""
+        return key in self.variables
+
+    def record_participation(self, epochs: int) -> None:
+        """Update participation counters after a local update."""
+        self.rounds_participated += 1
+        self.local_work_done += epochs
+
+
+def build_clients(dataset: Dataset, partition: Partition) -> list[ClientState]:
+    """Materialise a :class:`ClientState` per partition cell.
+
+    Clients that received zero samples are dropped with re-indexing so every
+    remaining client can perform local training (the paper assumes every
+    client holds data).
+    """
+    states: list[ClientState] = []
+    for client_id in range(partition.num_clients):
+        local = partition.client_dataset(dataset, client_id)
+        if len(local) == 0:
+            continue
+        states.append(ClientState(client_id=len(states), dataset=local))
+    if not states:
+        raise ConfigurationError("partition produced no clients with data")
+    return states

@@ -1,0 +1,244 @@
+"""The federated simulation engine: the round loop of Fig. 1 / Algorithm 1.
+
+The engine is algorithm-agnostic.  Per round it
+
+1. samples the active set ``S_t`` with the configured
+   :class:`repro.federated.sampler.ClientSampler`,
+2. asks the system-heterogeneity policy how many local epochs each selected
+   client runs this round,
+3. calls the algorithm's ``local_update`` per selected client,
+4. calls the algorithm's ``aggregate`` to produce the next global model,
+5. records communication costs and (periodically) evaluates the global model
+   on the held-out test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import FederatedAlgorithm, LocalTrainingConfig
+from repro.datasets.base import Dataset
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.federated.client import ClientState
+from repro.federated.evaluation import Evaluation, evaluate_model
+from repro.federated.heterogeneity import FixedEpochs, LocalWorkPolicy
+from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.local_problem import LocalProblem
+from repro.federated.messages import ClientMessage, CommunicationLedger
+from repro.federated.sampler import ClientSampler, UniformFractionSampler
+from repro.nn.losses import CrossEntropyLoss, Loss
+from repro.nn.module import Module
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one federated training run."""
+
+    algorithm: str
+    history: TrainingHistory
+    final_params: np.ndarray
+    ledger: CommunicationLedger
+    final_evaluation: Evaluation | None
+    rounds_run: int
+    target_accuracy: float | None = None
+    rounds_to_target: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def reached_target(self) -> bool:
+        """Whether the target accuracy was reached within the run."""
+        return self.rounds_to_target is not None
+
+
+class FederatedSimulation:
+    """Drives one federated training run for a given algorithm."""
+
+    def __init__(
+        self,
+        algorithm: FederatedAlgorithm,
+        model: Module,
+        clients: list[ClientState],
+        test_dataset: Dataset,
+        loss: Loss | None = None,
+        sampler: ClientSampler | None = None,
+        local_work: LocalWorkPolicy | None = None,
+        batch_size: int | None = 32,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+        eval_every: int = 1,
+        eval_batch_size: int | None = 512,
+        eager_client_init: bool = True,
+    ):
+        if not clients:
+            raise ConfigurationError("FederatedSimulation needs at least one client")
+        if eval_every <= 0:
+            raise ConfigurationError(f"eval_every must be positive, got {eval_every}")
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        self.algorithm = algorithm
+        self.model = model
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+        self.clients = clients
+        self.test_dataset = test_dataset
+        self.sampler = sampler if sampler is not None else UniformFractionSampler(0.1)
+        self.local_work = local_work if local_work is not None else FixedEpochs(1)
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.eval_every = eval_every
+        self.eval_batch_size = eval_batch_size
+
+        self._rng_factory = RngFactory(seed)
+        self._sampling_rng = self._rng_factory.make("client-sampling")
+        self._work_rng = self._rng_factory.make("local-work")
+        self._training_rng = self._rng_factory.make("local-training")
+
+        self.global_params = model.get_flat_params()
+        self.server_state = algorithm.init_server_state(
+            self.global_params, len(clients)
+        )
+        if eager_client_init:
+            for client in clients:
+                algorithm.init_client_state(client, self.global_params)
+
+        self._problems = [
+            LocalProblem(model=self.model, loss=self.loss, dataset=client.dataset)
+            for client in clients
+        ]
+        self.history = TrainingHistory(algorithm=algorithm.name)
+        self.ledger = CommunicationLedger()
+        self._rounds_run = 0
+
+    # ------------------------------------------------------------------ #
+    # One round
+    # ------------------------------------------------------------------ #
+    def run_round(self) -> RoundRecord:
+        """Execute a single communication round and return its record."""
+        round_index = self._rounds_run
+        num_clients = len(self.clients)
+        selected = self.sampler.sample(round_index, num_clients, self._sampling_rng)
+        if selected.size == 0:
+            raise SimulationError(f"round {round_index}: sampler selected no clients")
+
+        dim = self.global_params.size
+        messages: list[ClientMessage] = []
+        epochs_used: list[int] = []
+        for client_id in selected:
+            client = self.clients[int(client_id)]
+            epochs = self.local_work.epochs(int(client_id), round_index, self._work_rng)
+            config = LocalTrainingConfig(
+                epochs=epochs,
+                batch_size=self.batch_size,
+                learning_rate=self.learning_rate,
+            )
+            message = self.algorithm.local_update(
+                self._problems[int(client_id)],
+                client,
+                self.global_params,
+                self.server_state,
+                config,
+                round_index=round_index,
+                rng=self._training_rng,
+            )
+            messages.append(message)
+            epochs_used.append(epochs)
+
+        self.global_params = self.algorithm.aggregate(
+            self.global_params,
+            self.server_state,
+            messages,
+            num_clients,
+            round_index,
+        )
+
+        uploads = sum(msg.upload_floats for msg in messages)
+        downloads = len(messages) * self.algorithm.download_floats(dim)
+        self.ledger.record_round(uploads, downloads)
+        self._rounds_run += 1
+
+        evaluate_now = (
+            self._rounds_run % self.eval_every == 0 or self._rounds_run == 1
+        )
+        evaluation: Evaluation | None = None
+        if evaluate_now and len(self.test_dataset) > 0:
+            evaluation = evaluate_model(
+                self.model,
+                self.loss,
+                self.global_params,
+                self.test_dataset,
+                batch_size=self.eval_batch_size,
+            )
+
+        record = RoundRecord(
+            round_index=self._rounds_run,
+            test_accuracy=None if evaluation is None else evaluation.accuracy,
+            test_loss=None if evaluation is None else evaluation.loss,
+            train_loss=float(np.mean([msg.train_loss for msg in messages])),
+            num_selected=len(messages),
+            upload_floats=uploads,
+            download_floats=downloads,
+            mean_local_epochs=float(np.mean(epochs_used)),
+        )
+        self.history.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Full run
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        num_rounds: int,
+        target_accuracy: float | None = None,
+        stop_at_target: bool = False,
+    ) -> SimulationResult:
+        """Run up to ``num_rounds`` rounds.
+
+        If ``target_accuracy`` is given and ``stop_at_target`` is true, the
+        run stops at the first evaluated round whose test accuracy reaches
+        the target (the paper's rounds-to-target protocol).
+        """
+        if num_rounds <= 0:
+            raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
+        for _ in range(num_rounds):
+            record = self.run_round()
+            reached = (
+                target_accuracy is not None
+                and record.test_accuracy is not None
+                and record.test_accuracy >= target_accuracy
+            )
+            if reached and stop_at_target:
+                break
+
+        final_evaluation = None
+        if len(self.test_dataset) > 0:
+            final_evaluation = evaluate_model(
+                self.model,
+                self.loss,
+                self.global_params,
+                self.test_dataset,
+                batch_size=self.eval_batch_size,
+            )
+        rounds_to_target = (
+            None
+            if target_accuracy is None
+            else self.history.rounds_to_accuracy(target_accuracy)
+        )
+        return SimulationResult(
+            algorithm=self.algorithm.name,
+            history=self.history,
+            final_params=np.array(self.global_params, copy=True),
+            ledger=self.ledger,
+            final_evaluation=final_evaluation,
+            rounds_run=self._rounds_run,
+            target_accuracy=target_accuracy,
+            rounds_to_target=rounds_to_target,
+            metadata={
+                "num_clients": len(self.clients),
+                "batch_size": self.batch_size,
+                "learning_rate": self.learning_rate,
+            },
+        )

@@ -1,0 +1,93 @@
+"""System-heterogeneity models: how much local work each client performs.
+
+The paper captures variable computational capability by letting each selected
+client run a number of local epochs drawn uniformly from ``{1, ..., E}``
+(for FedADMM and FedProx), while FedAvg and SCAFFOLD always run exactly
+``E`` epochs.  These policies express both behaviours plus an explicit
+per-client capability profile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+
+
+class LocalWorkPolicy:
+    """Interface: number of local epochs for a client in a given round."""
+
+    def epochs(self, client_id: int, round_index: int, rng: SeedLike = None) -> int:
+        """Return the local epoch count ``E_i`` for this client and round."""
+        raise NotImplementedError
+
+    @property
+    def max_epochs(self) -> int:
+        """Upper bound on the epochs any client may run."""
+        raise NotImplementedError
+
+
+class FixedEpochs(LocalWorkPolicy):
+    """Every client always runs exactly ``num_epochs`` epochs (no system heterogeneity)."""
+
+    def __init__(self, num_epochs: int = 1):
+        if num_epochs <= 0:
+            raise ConfigurationError(f"num_epochs must be positive, got {num_epochs}")
+        self.num_epochs = num_epochs
+
+    def epochs(self, client_id: int, round_index: int, rng: SeedLike = None) -> int:
+        return self.num_epochs
+
+    @property
+    def max_epochs(self) -> int:
+        return self.num_epochs
+
+
+class UniformRandomEpochs(LocalWorkPolicy):
+    """Each selected client draws its epochs uniformly from ``{min, ..., max}``.
+
+    This is the paper's system-heterogeneity model (min=1, max=E), where the
+    realised draw reflects the device's transient compute budget.
+    """
+
+    def __init__(self, max_epochs: int, min_epochs: int = 1):
+        if min_epochs <= 0 or max_epochs < min_epochs:
+            raise ConfigurationError(
+                f"need 0 < min_epochs <= max_epochs, got ({min_epochs}, {max_epochs})"
+            )
+        self.min_epochs = min_epochs
+        self._max_epochs = max_epochs
+
+    def epochs(self, client_id: int, round_index: int, rng: SeedLike = None) -> int:
+        rng = as_rng(rng)
+        return int(rng.integers(self.min_epochs, self._max_epochs + 1))
+
+    @property
+    def max_epochs(self) -> int:
+        return self._max_epochs
+
+
+class PerClientEpochs(LocalWorkPolicy):
+    """A fixed capability profile: client ``i`` always runs ``profile[i]`` epochs."""
+
+    def __init__(self, profile: Sequence[int]):
+        profile_arr = np.asarray(profile, dtype=np.int64)
+        if profile_arr.ndim != 1 or profile_arr.size == 0:
+            raise ConfigurationError("profile must be a non-empty 1-D sequence")
+        if (profile_arr <= 0).any():
+            raise ConfigurationError("every profile entry must be positive")
+        self.profile = profile_arr
+
+    def epochs(self, client_id: int, round_index: int, rng: SeedLike = None) -> int:
+        if not 0 <= client_id < self.profile.size:
+            raise ConfigurationError(
+                f"client_id {client_id} outside profile of length {self.profile.size}"
+            )
+        return int(self.profile[client_id])
+
+    @property
+    def max_epochs(self) -> int:
+        return int(self.profile.max())

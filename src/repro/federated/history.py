@@ -1,0 +1,104 @@
+"""Training history: per-round records and rounds-to-target queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Everything recorded about one communication round."""
+
+    round_index: int
+    test_accuracy: float | None
+    test_loss: float | None
+    train_loss: float
+    num_selected: int
+    upload_floats: int
+    download_floats: int
+    mean_local_epochs: float
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of :class:`RoundRecord` plus convenience accessors."""
+
+    algorithm: str = ""
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Add a completed round."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Series accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def rounds(self) -> np.ndarray:
+        """Round indices (1-based: round r means r aggregations done)."""
+        return np.array([rec.round_index for rec in self.records], dtype=np.int64)
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        """Test accuracies per round (NaN where evaluation was skipped)."""
+        return np.array(
+            [np.nan if rec.test_accuracy is None else rec.test_accuracy for rec in self.records],
+            dtype=np.float64,
+        )
+
+    @property
+    def test_losses(self) -> np.ndarray:
+        """Test losses per round (NaN where evaluation was skipped)."""
+        return np.array(
+            [np.nan if rec.test_loss is None else rec.test_loss for rec in self.records],
+            dtype=np.float64,
+        )
+
+    @property
+    def train_losses(self) -> np.ndarray:
+        """Mean selected-client training losses per round."""
+        return np.array([rec.train_loss for rec in self.records], dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Summary queries
+    # ------------------------------------------------------------------ #
+    def best_accuracy(self) -> float:
+        """Best test accuracy observed so far (NaN-safe)."""
+        accs = self.accuracies
+        valid = accs[~np.isnan(accs)]
+        return float(valid.max()) if valid.size else float("nan")
+
+    def final_accuracy(self) -> float:
+        """Last evaluated test accuracy."""
+        accs = self.accuracies
+        valid = accs[~np.isnan(accs)]
+        return float(valid[-1]) if valid.size else float("nan")
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round index at which test accuracy reached ``target``.
+
+        Returns ``None`` if the target was never reached — the paper reports
+        this as "100+".
+        """
+        for record in self.records:
+            if record.test_accuracy is not None and record.test_accuracy >= target:
+                return record.round_index
+        return None
+
+    def total_upload_floats(self) -> int:
+        """Total floats uploaded across all recorded rounds."""
+        return int(sum(rec.upload_floats for rec in self.records))
+
+    def accuracy_series(self) -> list[tuple[int, float]]:
+        """(round, accuracy) pairs for rounds where evaluation ran."""
+        return [
+            (rec.round_index, rec.test_accuracy)
+            for rec in self.records
+            if rec.test_accuracy is not None
+        ]

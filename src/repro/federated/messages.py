@@ -1,0 +1,76 @@
+"""Update messages and communication-cost accounting.
+
+One of the paper's central claims is that FedADMM keeps the *exact same*
+per-round upload size as FedAvg/FedProx (one d-dimensional vector per
+selected client), whereas SCAFFOLD uploads two.  The
+:class:`CommunicationLedger` records uploads/downloads in units of floats so
+the benchmark tables can report communication both in rounds and in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+BYTES_PER_FLOAT = 4  # float32 on the wire, as in real deployments.
+
+
+@dataclass
+class ClientMessage:
+    """What one selected client uploads to the server after local training.
+
+    ``payload`` maps named vectors (e.g. ``"delta"`` for FedADMM, ``"params"``
+    and ``"control_delta"`` for SCAFFOLD) to flat arrays; the sum of their
+    sizes is the upload cost.
+    """
+
+    client_id: int
+    payload: dict[str, np.ndarray]
+    num_samples: int
+    local_epochs: int
+    train_loss: float
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def upload_floats(self) -> int:
+        """Number of scalars this message puts on the wire."""
+        return int(sum(np.asarray(vec).size for vec in self.payload.values()))
+
+
+@dataclass
+class CommunicationLedger:
+    """Running totals of communication, in floats and rounds."""
+
+    upload_floats: int = 0
+    download_floats: int = 0
+    rounds: int = 0
+    per_round_upload: list[int] = field(default_factory=list)
+
+    def record_round(self, uploads: int, downloads: int) -> None:
+        """Add one round's totals."""
+        self.upload_floats += int(uploads)
+        self.download_floats += int(downloads)
+        self.rounds += 1
+        self.per_round_upload.append(int(uploads))
+
+    @property
+    def total_floats(self) -> int:
+        """Uploads plus downloads."""
+        return self.upload_floats + self.download_floats
+
+    @property
+    def upload_bytes(self) -> int:
+        """Total uploaded bytes assuming float32 transport."""
+        return self.upload_floats * BYTES_PER_FLOAT
+
+    @property
+    def download_bytes(self) -> int:
+        """Total downloaded bytes assuming float32 transport."""
+        return self.download_floats * BYTES_PER_FLOAT
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes on the wire in both directions."""
+        return self.total_floats * BYTES_PER_FLOAT

@@ -1,0 +1,123 @@
+"""Client activation schemes.
+
+The paper's experiments activate a uniformly random fraction ``C`` of clients
+each round (:class:`UniformFractionSampler`).  Theorem 1 only requires each
+client to participate with probability bounded below by ``p_min``
+(:class:`BernoulliSampler`), and Remark 2 allows an arbitrary
+infinitely-often scheme, which :class:`FixedScheduleSampler` lets the user
+express explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_fraction, check_probability
+
+
+class ClientSampler:
+    """Interface: choose the active set ``S_t`` for round ``t``."""
+
+    def sample(self, round_index: int, num_clients: int, rng: SeedLike = None) -> np.ndarray:
+        """Return the (sorted, unique) array of active client ids."""
+        raise NotImplementedError
+
+    def min_participation_probability(self, num_clients: int) -> float:
+        """Lower bound ``p_min`` on any client's per-round activation probability."""
+        raise NotImplementedError
+
+
+class UniformFractionSampler(ClientSampler):
+    """Select ``max(1, round(fraction * m))`` clients uniformly without replacement."""
+
+    def __init__(self, fraction: float = 0.1):
+        self.fraction = check_fraction(fraction, "fraction")
+
+    def num_selected(self, num_clients: int) -> int:
+        """Number of clients selected per round, ``|S_t|``."""
+        return max(1, int(round(self.fraction * num_clients)))
+
+    def sample(self, round_index: int, num_clients: int, rng: SeedLike = None) -> np.ndarray:
+        rng = as_rng(rng)
+        count = self.num_selected(num_clients)
+        selected = rng.choice(num_clients, size=count, replace=False)
+        return np.sort(selected)
+
+    def min_participation_probability(self, num_clients: int) -> float:
+        return self.num_selected(num_clients) / num_clients
+
+
+class BernoulliSampler(ClientSampler):
+    """Each client independently active with its own probability.
+
+    ``probabilities`` may be a scalar (same for all) or one value per client.
+    At least one client is always activated so a round is never empty.
+    """
+
+    def __init__(self, probabilities: float | Sequence[float] = 0.1):
+        if np.isscalar(probabilities):
+            check_probability(float(probabilities), "probabilities")
+        else:
+            for value in probabilities:  # type: ignore[union-attr]
+                check_probability(float(value), "probabilities")
+        self.probabilities = probabilities
+
+    def _per_client(self, num_clients: int) -> np.ndarray:
+        if np.isscalar(self.probabilities):
+            return np.full(num_clients, float(self.probabilities))
+        probs = np.asarray(self.probabilities, dtype=np.float64)
+        if probs.shape != (num_clients,):
+            raise ConfigurationError(
+                f"expected {num_clients} probabilities, got shape {probs.shape}"
+            )
+        return probs
+
+    def sample(self, round_index: int, num_clients: int, rng: SeedLike = None) -> np.ndarray:
+        rng = as_rng(rng)
+        probs = self._per_client(num_clients)
+        active = np.flatnonzero(rng.random(num_clients) < probs)
+        if active.size == 0:
+            active = np.array([int(rng.integers(0, num_clients))])
+        return np.sort(active)
+
+    def min_participation_probability(self, num_clients: int) -> float:
+        return float(np.min(self._per_client(num_clients)))
+
+
+class FixedScheduleSampler(ClientSampler):
+    """Cycle through an explicit list of active sets (round-robin).
+
+    Useful for deterministic tests and for modelling adversarial activation
+    schemes that are still infinitely often (Remark 2 of the paper).
+    """
+
+    def __init__(self, schedule: Sequence[Sequence[int]]):
+        if not schedule:
+            raise ConfigurationError("schedule must contain at least one active set")
+        self.schedule = [np.sort(np.asarray(s, dtype=np.int64)) for s in schedule]
+        for active in self.schedule:
+            if active.size == 0:
+                raise ConfigurationError("every scheduled active set must be non-empty")
+
+    def sample(self, round_index: int, num_clients: int, rng: SeedLike = None) -> np.ndarray:
+        active = self.schedule[round_index % len(self.schedule)]
+        if active.max() >= num_clients:
+            raise ConfigurationError(
+                f"scheduled client id {active.max()} exceeds population {num_clients}"
+            )
+        return active
+
+    def min_participation_probability(self, num_clients: int) -> float:
+        appears = np.zeros(num_clients, dtype=bool)
+        for active in self.schedule:
+            appears[active] = True
+        # Clients that appear at least once per cycle participate with
+        # frequency >= 1/len(schedule); clients that never appear violate the
+        # infinitely-often requirement, reported as probability zero.
+        if not appears.all():
+            return 0.0
+        return 1.0 / len(self.schedule)

@@ -1,0 +1,24 @@
+"""Metrics: rounds-to-target, speedups, and communication accounting."""
+
+from repro.metrics.rounds_to_target import (
+    rounds_to_target,
+    RoundsToTarget,
+    format_rounds,
+)
+from repro.metrics.speedup import speedup_vs_reference, reduction_vs_best_baseline
+from repro.metrics.communication import (
+    per_round_upload_floats,
+    total_upload_floats,
+    communication_to_target_bytes,
+)
+
+__all__ = [
+    "rounds_to_target",
+    "RoundsToTarget",
+    "format_rounds",
+    "speedup_vs_reference",
+    "reduction_vs_best_baseline",
+    "per_round_upload_floats",
+    "total_upload_floats",
+    "communication_to_target_bytes",
+]

@@ -1,0 +1,43 @@
+"""Communication-cost calculations.
+
+The key comparison in the paper: per selected client per round, FedAvg /
+FedProx / FedADMM upload exactly ``d`` floats while SCAFFOLD uploads ``2d``.
+Combined with rounds-to-target this yields total bytes to a target accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import FederatedAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.federated.messages import BYTES_PER_FLOAT
+
+
+def per_round_upload_floats(
+    algorithm: FederatedAlgorithm, dim: int, num_selected: int
+) -> int:
+    """Floats uploaded by all selected clients in one round."""
+    if dim <= 0 or num_selected <= 0:
+        raise ConfigurationError("dim and num_selected must be positive")
+    return algorithm.upload_floats(dim) * num_selected
+
+
+def total_upload_floats(
+    algorithm: FederatedAlgorithm, dim: int, num_selected: int, num_rounds: int
+) -> int:
+    """Floats uploaded over ``num_rounds`` rounds."""
+    if num_rounds < 0:
+        raise ConfigurationError("num_rounds must be non-negative")
+    return per_round_upload_floats(algorithm, dim, num_selected) * num_rounds
+
+
+def communication_to_target_bytes(
+    algorithm: FederatedAlgorithm,
+    dim: int,
+    num_selected: int,
+    rounds_to_target: int | None,
+) -> int | None:
+    """Uploaded bytes needed to reach the target, or ``None`` if never reached."""
+    if rounds_to_target is None:
+        return None
+    floats = total_upload_floats(algorithm, dim, num_selected, rounds_to_target)
+    return floats * BYTES_PER_FLOAT

@@ -1,0 +1,52 @@
+"""Rounds-to-target-accuracy, the headline metric of the paper's Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.federated.history import TrainingHistory
+
+
+@dataclass
+class RoundsToTarget:
+    """Result of a rounds-to-target query.
+
+    ``rounds`` is ``None`` when the target was not reached within the budget,
+    which the paper's tables print as ``"<budget>+"`` (e.g. ``100+``).
+    """
+
+    target_accuracy: float
+    rounds: int | None
+    budget: int
+
+    @property
+    def reached(self) -> bool:
+        """Whether the target accuracy was reached."""
+        return self.rounds is not None
+
+    def effective_rounds(self) -> int:
+        """Rounds if reached, otherwise the budget (a conservative stand-in)."""
+        return self.rounds if self.rounds is not None else self.budget
+
+
+def rounds_to_target(
+    history: TrainingHistory, target_accuracy: float, budget: int | None = None
+) -> RoundsToTarget:
+    """Extract the rounds-to-target metric from a training history."""
+    if not 0 < target_accuracy <= 1:
+        raise ConfigurationError(
+            f"target_accuracy must lie in (0, 1], got {target_accuracy}"
+        )
+    budget = budget if budget is not None else len(history)
+    rounds = history.rounds_to_accuracy(target_accuracy)
+    return RoundsToTarget(
+        target_accuracy=target_accuracy, rounds=rounds, budget=budget
+    )
+
+
+def format_rounds(result: RoundsToTarget) -> str:
+    """Render a rounds-to-target result the way the paper's tables do."""
+    if result.reached:
+        return str(result.rounds)
+    return f"{result.budget}+"

@@ -1,0 +1,41 @@
+"""Speedup and reduction metrics reported alongside Table III.
+
+The paper reports, per experiment,
+
+* the speedup of each method relative to FedSGD (``297/10 = 29.7x`` style),
+* the *reduction* of communication rounds achieved by FedADMM over the best
+  performing baseline (``1 - rounds_fedadmm / rounds_best_baseline``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def speedup_vs_reference(rounds: int | None, reference_rounds: int | None) -> float | None:
+    """Speedup factor ``reference / rounds``; ``None`` if either did not finish."""
+    if rounds is None or reference_rounds is None:
+        return None
+    if rounds <= 0 or reference_rounds <= 0:
+        raise ConfigurationError("round counts must be positive for a speedup")
+    return reference_rounds / rounds
+
+
+def reduction_vs_best_baseline(
+    method_rounds: int | None, baseline_rounds: dict[str, int | None]
+) -> float | None:
+    """Fractional round reduction of the method over its best baseline.
+
+    Baselines that never reached the target are ignored; if no baseline
+    reached it (or the method itself did not), the reduction is undefined and
+    ``None`` is returned.
+    """
+    if method_rounds is None:
+        return None
+    finished = [r for r in baseline_rounds.values() if r is not None]
+    if not finished:
+        return None
+    best = min(finished)
+    if best <= 0:
+        raise ConfigurationError("baseline round counts must be positive")
+    return 1.0 - method_rounds / best

@@ -1,0 +1,59 @@
+"""A from-scratch NumPy neural-network substrate.
+
+The paper trains CNNs with PyTorch; this environment has no PyTorch, so the
+package provides the minimal-but-complete pieces federated optimisation
+needs: composable layers with explicit forward/backward passes, losses,
+initialisers, SGD optimisers, flat parameter packing (every federated
+algorithm in :mod:`repro.algorithms` operates on flat vectors), the paper's
+two CNN architectures, and numerical gradient checking used by the tests.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.layers import (
+    Linear,
+    Conv2D,
+    MaxPool2D,
+    ReLU,
+    Tanh,
+    Flatten,
+    Dropout,
+    Sequential,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss, Loss
+from repro.nn.optim import SGD, SGDConfig
+from repro.nn.models import (
+    CNN1,
+    CNN2,
+    MLP,
+    LogisticRegression,
+    build_model,
+    MODEL_REGISTRY,
+)
+from repro.nn.gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Loss",
+    "SGD",
+    "SGDConfig",
+    "CNN1",
+    "CNN2",
+    "MLP",
+    "LogisticRegression",
+    "build_model",
+    "MODEL_REGISTRY",
+    "numerical_gradient",
+    "check_gradients",
+]

@@ -1,0 +1,48 @@
+"""Weight initialisation schemes.
+
+The paper uses random initialisation for the global model; we expose the
+standard choices (He / Glorot / uniform) behind a small functional API so
+model constructors stay readable and deterministic given a generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_rng
+
+
+def he_normal(shape: tuple[int, ...], fan_in: int, rng: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU networks."""
+    rng = as_rng(rng)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: SeedLike = None
+) -> np.ndarray:
+    """Glorot (Xavier) uniform initialisation."""
+    rng = as_rng(rng)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name (``'he'``, ``'glorot'``, ``'zeros'``)."""
+    registry = {
+        "he": he_normal,
+        "glorot": glorot_uniform,
+        "zeros": lambda shape, *args, **kwargs: zeros(shape),
+    }
+    if name not in registry:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; available: {sorted(registry)}"
+        )
+    return registry[name]

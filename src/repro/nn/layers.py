@@ -1,0 +1,301 @@
+"""Composable layers with explicit forward/backward passes.
+
+Each layer caches whatever it needs during ``forward`` to compute gradients
+in ``backward``.  The layers are deliberately small and single-purpose:
+``Sequential`` is the only container and is what the model zoo in
+:mod:`repro.nn.models` builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.initializers import glorot_uniform, he_normal, zeros
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    rng:
+        Seed or generator for weight initialisation.
+    init:
+        ``'he'`` (default, pairs with ReLU) or ``'glorot'``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: SeedLike = None,
+        init: str = "he",
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError(
+                f"Linear dimensions must be positive, got "
+                f"({in_features}, {out_features})"
+            )
+        rng = as_rng(rng)
+        if init == "he":
+            weight = he_normal((in_features, out_features), in_features, rng)
+        elif init == "glorot":
+            weight = glorot_uniform(
+                (in_features, out_features), in_features, out_features, rng
+            )
+        else:
+            raise ConfigurationError(f"unknown init {init!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight, name="linear.weight")
+        self.bias = Parameter(zeros((out_features,)), name="linear.bias")
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected input of shape (n, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ShapeError("backward called before forward on Linear")
+        self.weight.grad += self._input.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+
+class Conv2D(Module):
+    """2-D convolution implemented with im2col.
+
+    Input/output layout is ``(n, channels, height, width)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ConfigurationError("Conv2D sizes must be positive")
+        if padding < 0:
+            raise ConfigurationError("Conv2D padding must be non-negative")
+        rng = as_rng(rng)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            he_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng),
+            name="conv.weight",
+        )
+        self.bias = Parameter(zeros((out_channels,)), name="conv.bias")
+        self._cols: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2D expected input (n, {self.in_channels}, h, w), got {x.shape}"
+            )
+        n, _, height, width = x.shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+
+        cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        weight_mat = self.weight.value.reshape(self.out_channels, -1)
+        out = cols @ weight_mat.T + self.bias.value
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+        self._cols = cols
+        self._input_shape = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise ShapeError("backward called before forward on Conv2D")
+        n, _, out_h, out_w = grad_output.shape
+        grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+
+        weight_mat = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat.T @ self._cols).reshape(self.weight.shape)
+        self.bias.grad += grad_mat.sum(axis=0)
+
+        grad_cols = grad_mat @ weight_mat
+        return col2im(
+            grad_cols,
+            self._input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+
+class MaxPool2D(Module):
+    """Max pooling over non-overlapping (by default) square windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        if kernel_size <= 0:
+            raise ConfigurationError("MaxPool2D kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._input_shape: tuple[int, int, int, int] | None = None
+        self._argmax: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"MaxPool2D expected 4-D input, got {x.shape}")
+        n, channels, height, width = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = conv_output_size(height, k, s, 0)
+        out_w = conv_output_size(width, k, s, 0)
+
+        # Treat each channel independently by folding channels into the batch.
+        reshaped = x.reshape(n * channels, 1, height, width)
+        cols = im2col(reshaped, k, k, s, 0)  # (n*c*out_h*out_w, k*k)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        out = out.reshape(n, channels, out_h, out_w)
+
+        self._input_shape = x.shape
+        self._argmax = argmax
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None or self._argmax is None:
+            raise ShapeError("backward called before forward on MaxPool2D")
+        n, channels, height, width = self._input_shape
+        k, s = self.kernel_size, self.stride
+
+        grad_flat = grad_output.reshape(-1)
+        cols_grad = np.zeros((grad_flat.size, k * k), dtype=np.float64)
+        cols_grad[np.arange(grad_flat.size), self._argmax] = grad_flat
+        grad_input = col2im(
+            cols_grad, (n * channels, 1, height, width), k, k, s, 0
+        )
+        return grad_input.reshape(n, channels, height, width)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward called before forward on ReLU")
+        return grad_output * self._mask
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ShapeError("backward called before forward on Tanh")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ShapeError("backward called before forward on Flatten")
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, rate: float = 0.5, rng: SeedLike = None):
+        super().__init__()
+        if not 0 <= rate < 1:
+            raise ConfigurationError(f"dropout rate must lie in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = as_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Sequential(Module):
+    """Run layers in order; backward runs them in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer at the end and return ``self`` for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

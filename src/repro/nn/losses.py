@@ -1,0 +1,72 @@
+"""Loss functions.
+
+A loss exposes ``value_and_grad(logits, targets)`` returning the scalar mean
+loss over the batch and the gradient with respect to the logits, which is
+then fed to ``model.backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class Loss:
+    """Interface for batch losses."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over the batch."""
+        loss, _ = self.value_and_grad(predictions, targets)
+        return loss
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Mean loss and its gradient with respect to ``predictions``."""
+        raise NotImplementedError
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy for integer class labels.
+
+    ``predictions`` are raw logits of shape ``(n, num_classes)`` and
+    ``targets`` are integer labels of shape ``(n,)``.
+    """
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        if predictions.ndim != 2:
+            raise ShapeError(
+                f"CrossEntropyLoss expects 2-D logits, got {predictions.shape}"
+            )
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape[0] != predictions.shape[0]:
+            raise ShapeError(
+                f"batch mismatch: logits {predictions.shape[0]}, "
+                f"targets {targets.shape[0]}"
+            )
+        n, num_classes = predictions.shape
+        log_probs = log_softmax(predictions)
+        loss = -float(log_probs[np.arange(n), targets].mean())
+        grad = (softmax(predictions) - one_hot(targets, num_classes)) / n
+        return loss, grad
+
+
+class MSELoss(Loss):
+    """Mean squared error, ``mean((predictions - targets) ** 2)``."""
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"MSELoss shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        diff = predictions - targets
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

@@ -1,0 +1,185 @@
+"""Model zoo.
+
+``CNN1`` and ``CNN2`` replicate the paper's two architectures (Table II):
+two 5x5 convolutional layers each followed by 2x2 max pooling, then a fully
+connected module.  ``CNN1`` takes a flattened 784-dimensional MNIST/FMNIST
+image and has exactly 1,663,370 parameters; ``CNN2`` takes a flattened
+3,072-dimensional CIFAR-10 image and has exactly 1,105,098 parameters.
+
+The lighter ``MLP`` and ``LogisticRegression`` models are used by the
+scaled-down benchmark presets and the fast test suite, where the federated
+*dynamics* (not the vision accuracy) are what matters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.layers import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, as_rng
+
+
+class _ImageReshape(Module):
+    """Reshape flattened image vectors into ``(n, c, h, w)`` batches."""
+
+    def __init__(self, channels: int, height: int, width: int):
+        super().__init__()
+        self.channels = channels
+        self.height = height
+        self.width = width
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        expected = self.channels * self.height * self.width
+        if x.ndim == 2 and x.shape[1] == expected:
+            return x.reshape(x.shape[0], self.channels, self.height, self.width)
+        if x.ndim == 4 and x.shape[1:] == (self.channels, self.height, self.width):
+            return x
+        raise ShapeError(
+            f"expected input of shape (n, {expected}) or "
+            f"(n, {self.channels}, {self.height}, {self.width}), got {x.shape}"
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(grad_output.shape[0], -1)
+
+
+class CNN1(Sequential):
+    """The paper's MNIST/FMNIST CNN (1,663,370 parameters).
+
+    Architecture: conv(1->32, 5x5, pad 2) -> 2x2 maxpool -> conv(32->64, 5x5,
+    pad 2) -> 2x2 maxpool -> fc(3136->512) -> ReLU -> fc(512->10).
+    """
+
+    def __init__(self, rng: SeedLike = None, num_classes: int = 10):
+        rng = as_rng(rng)
+        super().__init__(
+            _ImageReshape(1, 28, 28),
+            Conv2D(1, 32, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(32, 64, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(7 * 7 * 64, 512, rng=rng),
+            ReLU(),
+            Linear(512, num_classes, rng=rng),
+        )
+
+
+class CNN2(Sequential):
+    """The paper's CIFAR-10 CNN (1,105,098 parameters).
+
+    Architecture: conv(3->32, 5x5, pad 2) -> 2x2 maxpool -> conv(32->64, 5x5,
+    pad 2) -> 2x2 maxpool -> fc(4096->256) -> ReLU -> fc(256->10).
+    """
+
+    def __init__(self, rng: SeedLike = None, num_classes: int = 10):
+        rng = as_rng(rng)
+        super().__init__(
+            _ImageReshape(3, 32, 32),
+            Conv2D(3, 32, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(32, 64, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(8 * 8 * 64, 256, rng=rng),
+            ReLU(),
+            Linear(256, num_classes, rng=rng),
+        )
+
+
+class SmallCNN(Sequential):
+    """A reduced CNN used by the scaled-down image benchmarks.
+
+    Same topology as the paper's CNNs (two conv + pool blocks, one hidden
+    fully connected layer) but with narrow channels so a full federated sweep
+    runs on a laptop CPU in minutes.
+    """
+
+    def __init__(
+        self,
+        rng: SeedLike = None,
+        channels: int = 1,
+        image_size: int = 28,
+        num_classes: int = 10,
+        conv_channels: tuple[int, int] = (4, 8),
+        hidden: int = 32,
+    ):
+        rng = as_rng(rng)
+        pooled = image_size // 4
+        super().__init__(
+            _ImageReshape(channels, image_size, image_size),
+            Conv2D(channels, conv_channels[0], kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(conv_channels[0], conv_channels[1], kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(pooled * pooled * conv_channels[1], hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+
+
+class MLP(Sequential):
+    """Multi-layer perceptron on flattened inputs."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: tuple[int, ...] = (64,),
+        num_classes: int = 10,
+        rng: SeedLike = None,
+    ):
+        rng = as_rng(rng)
+        layers: list[Module] = []
+        previous = input_dim
+        for hidden in hidden_dims:
+            layers.append(Linear(previous, hidden, rng=rng))
+            layers.append(ReLU())
+            previous = hidden
+        layers.append(Linear(previous, num_classes, rng=rng))
+        super().__init__(*layers)
+
+
+class LogisticRegression(Sequential):
+    """Multinomial logistic regression (a single linear layer)."""
+
+    def __init__(self, input_dim: int, num_classes: int = 10, rng: SeedLike = None):
+        super().__init__(Linear(input_dim, num_classes, rng=as_rng(rng), init="glorot"))
+
+
+ModelBuilder = Callable[..., Module]
+
+MODEL_REGISTRY: dict[str, ModelBuilder] = {
+    "cnn1": CNN1,
+    "cnn2": CNN2,
+    "small_cnn": SmallCNN,
+    "mlp": MLP,
+    "logistic": LogisticRegression,
+}
+
+
+def build_model(name: str, rng: SeedLike = None, **kwargs) -> Module:
+    """Instantiate a model from :data:`MODEL_REGISTRY` by name."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[key](rng=rng, **kwargs)

@@ -1,0 +1,145 @@
+"""Base class for neural-network modules.
+
+Modules implement ``forward(x)`` and ``backward(grad_output)``; ``backward``
+must be called after ``forward`` with the gradient of the loss with respect
+to the module output, accumulates parameter gradients, and returns the
+gradient with respect to the module input.
+
+The federated algorithms never look inside a model: they exchange flat
+parameter vectors produced by :meth:`get_flat_params` / consumed by
+:meth:`set_flat_params`, mirroring how the paper treats the model as a single
+vector :math:`\\theta \\in \\mathbb{R}^d`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class with parameter traversal and flat packing helpers."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward interface
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the module output for a batch ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and return the input gradient."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------ #
+    # Train / eval mode
+    # ------------------------------------------------------------------ #
+    def train(self) -> "Module":
+        """Switch this module and every child into training mode."""
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module and every child into evaluation mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Parameter traversal
+    # ------------------------------------------------------------------ #
+    def children(self) -> Iterator["Module"]:
+        """Yield direct sub-modules (attributes that are Modules)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def parameters(self) -> list[Parameter]:
+        """Return every trainable parameter in a deterministic order."""
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter):
+                        params.append(item)
+                    elif isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient to zero."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    @property
+    def num_params(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Flat packing (the representation exchanged in federated rounds)
+    # ------------------------------------------------------------------ #
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate every parameter value into one flat float64 vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([param.value.ravel() for param in params])
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Load a flat vector produced by :meth:`get_flat_params`."""
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_params
+        if flat.ndim != 1 or flat.size != expected:
+            raise ShapeError(
+                f"flat parameter vector must have shape ({expected},), "
+                f"got {flat.shape}"
+            )
+        offset = 0
+        for param in self.parameters():
+            chunk = flat[offset : offset + param.size]
+            param.assign(chunk.reshape(param.shape))
+            offset += param.size
+
+    def get_flat_grad(self) -> np.ndarray:
+        """Concatenate every parameter gradient into one flat vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([param.grad.ravel() for param in params])
+
+    def set_flat_grad(self, flat: np.ndarray) -> None:
+        """Load a flat gradient vector into the parameter ``grad`` buffers."""
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_params
+        if flat.ndim != 1 or flat.size != expected:
+            raise ShapeError(
+                f"flat gradient vector must have shape ({expected},), "
+                f"got {flat.shape}"
+            )
+        offset = 0
+        for param in self.parameters():
+            chunk = flat[offset : offset + param.size]
+            np.copyto(param.grad, chunk.reshape(param.shape))
+            offset += param.size

@@ -1,0 +1,77 @@
+"""Gradient-descent optimisers operating on :class:`repro.nn.module.Module`.
+
+Local training in every federated algorithm uses plain SGD (as in the paper);
+momentum and weight decay are provided for completeness and for the
+centralised-training example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.module import Module
+
+
+@dataclass
+class SGDConfig:
+    """Hyperparameters of :class:`SGD`."""
+
+    learning_rate: float = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if not 0 <= self.momentum < 1:
+            raise ConfigurationError(
+                f"momentum must lie in [0, 1), got {self.momentum}"
+            )
+        if self.weight_decay < 0:
+            raise ConfigurationError(
+                f"weight_decay must be non-negative, got {self.weight_decay}"
+            )
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, model: Module, config: SGDConfig | None = None, **kwargs):
+        self.model = model
+        self.config = config if config is not None else SGDConfig(**kwargs)
+        self._velocity = [np.zeros_like(p.value) for p in model.parameters()]
+
+    @property
+    def learning_rate(self) -> float:
+        """Current learning rate."""
+        return self.config.learning_rate
+
+    @learning_rate.setter
+    def learning_rate(self, value: float) -> None:
+        if value <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {value}")
+        self.config.learning_rate = value
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated in the model."""
+        cfg = self.config
+        for velocity, param in zip(self._velocity, self.model.parameters()):
+            grad = param.grad
+            if cfg.weight_decay:
+                grad = grad + cfg.weight_decay * param.value
+            if cfg.momentum:
+                velocity *= cfg.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.value -= cfg.learning_rate * update
+
+    def zero_grad(self) -> None:
+        """Reset the model's gradients."""
+        self.model.zero_grad()

@@ -1,0 +1,49 @@
+"""Trainable parameter container.
+
+A :class:`Parameter` owns a value array and an accumulated gradient array of
+identical shape.  Modules expose their parameters through
+:meth:`repro.nn.module.Module.parameters`, and the federated algorithms view
+them as one flat vector via the packing helpers on ``Module``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+class Parameter:
+    """A named trainable tensor with an attached gradient buffer."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying value array."""
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad.fill(0.0)
+
+    def assign(self, new_value: np.ndarray) -> None:
+        """Overwrite the value in place, validating the shape."""
+        new_value = np.asarray(new_value, dtype=np.float64)
+        if new_value.shape != self.value.shape:
+            raise ShapeError(
+                f"cannot assign array of shape {new_value.shape} to parameter "
+                f"{self.name!r} of shape {self.value.shape}"
+            )
+        np.copyto(self.value, new_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.shape})"

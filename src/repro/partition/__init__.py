@@ -1,0 +1,51 @@
+"""Client data partitioning strategies.
+
+The paper evaluates three distributions of training data across clients:
+
+* **IID** — data evenly and randomly distributed (:class:`IidPartitioner`).
+* **non-IID shards** — data sorted by label, split into shards, two shards per
+  client (:class:`ShardPartitioner`), the extreme heterogeneity setting.
+* **imbalanced volumes** — clients grouped, each group receiving a number of
+  shards equal to its group index (:class:`ImbalancedPartitioner`, Table VI).
+
+:class:`DirichletPartitioner` is provided as an extension for the smoother
+label-skew setting common in later FL literature.
+"""
+
+from repro.partition.base import Partition, Partitioner
+from repro.partition.iid import IidPartitioner
+from repro.partition.shard import ShardPartitioner
+from repro.partition.imbalanced import ImbalancedPartitioner
+from repro.partition.dirichlet import DirichletPartitioner
+from repro.partition.stats import PartitionStats, compute_partition_stats
+
+__all__ = [
+    "Partition",
+    "Partitioner",
+    "IidPartitioner",
+    "ShardPartitioner",
+    "ImbalancedPartitioner",
+    "DirichletPartitioner",
+    "PartitionStats",
+    "compute_partition_stats",
+    "build_partitioner",
+]
+
+
+def build_partitioner(name: str, **kwargs) -> Partitioner:
+    """Construct a partitioner by name (``iid``, ``shard``, ``imbalanced``,
+    ``dirichlet``)."""
+    from repro.exceptions import ConfigurationError
+
+    registry = {
+        "iid": IidPartitioner,
+        "shard": ShardPartitioner,
+        "imbalanced": ImbalancedPartitioner,
+        "dirichlet": DirichletPartitioner,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ConfigurationError(
+            f"unknown partitioner {name!r}; available: {sorted(registry)}"
+        )
+    return registry[key](**kwargs)

@@ -1,0 +1,95 @@
+"""Partition data structures and the partitioner interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import PartitionError
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class Partition:
+    """Assignment of dataset sample indices to clients.
+
+    ``client_indices[i]`` is the sorted array of sample indices owned by
+    client ``i``.  A valid partition covers every sample exactly once unless
+    it was explicitly built as a sub-sample.
+    """
+
+    client_indices: list[np.ndarray]
+    dataset_size: int
+    scheme: str = "custom"
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_clients(self) -> int:
+        """Number of clients in the partition."""
+        return len(self.client_indices)
+
+    def client_sizes(self) -> np.ndarray:
+        """Array of per-client sample counts."""
+        return np.array([len(idx) for idx in self.client_indices], dtype=np.int64)
+
+    def validate(self, require_cover: bool = True) -> None:
+        """Raise :class:`PartitionError` if the partition is inconsistent.
+
+        Checks index bounds, per-client uniqueness, global disjointness, and
+        (optionally) that the union covers the full dataset.
+        """
+        seen = np.zeros(self.dataset_size, dtype=np.int64)
+        for client_id, indices in enumerate(self.client_indices):
+            if len(indices) == 0:
+                continue
+            if indices.min() < 0 or indices.max() >= self.dataset_size:
+                raise PartitionError(
+                    f"client {client_id} has out-of-range indices "
+                    f"[{indices.min()}, {indices.max()}] for dataset of size "
+                    f"{self.dataset_size}"
+                )
+            if len(np.unique(indices)) != len(indices):
+                raise PartitionError(f"client {client_id} has duplicate indices")
+            seen[indices] += 1
+        if (seen > 1).any():
+            raise PartitionError("some samples are assigned to multiple clients")
+        if require_cover and (seen == 0).any():
+            missing = int((seen == 0).sum())
+            raise PartitionError(f"{missing} samples are not assigned to any client")
+
+    def client_dataset(self, dataset: Dataset, client_id: int) -> Dataset:
+        """Materialise client ``client_id``'s local dataset."""
+        if not 0 <= client_id < self.num_clients:
+            raise PartitionError(
+                f"client_id {client_id} out of range [0, {self.num_clients})"
+            )
+        return dataset.subset(
+            self.client_indices[client_id], name=f"{dataset.name}-client{client_id}"
+        )
+
+    def client_datasets(self, dataset: Dataset) -> list[Dataset]:
+        """Materialise every client's local dataset."""
+        return [self.client_dataset(dataset, i) for i in range(self.num_clients)]
+
+
+class Partitioner:
+    """Interface: split a dataset's indices across ``num_clients`` clients."""
+
+    scheme = "base"
+
+    def partition(
+        self, dataset: Dataset, num_clients: int, rng: SeedLike = None
+    ) -> Partition:
+        """Return a :class:`Partition` of ``dataset`` over ``num_clients``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_num_clients(num_clients: int, dataset_size: int) -> None:
+        if num_clients <= 0:
+            raise PartitionError(f"num_clients must be positive, got {num_clients}")
+        if num_clients > dataset_size:
+            raise PartitionError(
+                f"cannot split {dataset_size} samples across {num_clients} clients"
+            )

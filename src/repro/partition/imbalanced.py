@@ -1,0 +1,95 @@
+"""Imbalanced-volume partitioning (paper Section V-B, Table VI).
+
+The paper's construction: sort training data by label, divide into a large
+number of small shards, split the clients evenly into ``num_groups`` groups,
+and give every member of group ``g`` (1-indexed) exactly ``g`` shards — except
+the last group, which absorbs whatever shards remain.  The result is both
+label-heterogeneous and volume-heterogeneous (std on the order of half the
+mean, cf. Table VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import PartitionError
+from repro.partition.base import Partition, Partitioner
+from repro.utils.rng import SeedLike, as_rng
+
+
+class ImbalancedPartitioner(Partitioner):
+    """Group-indexed shard allocation producing imbalanced client volumes."""
+
+    scheme = "imbalanced"
+
+    def __init__(self, num_groups: int = 100, samples_per_shard: int | None = None):
+        if num_groups <= 0:
+            raise PartitionError(f"num_groups must be positive, got {num_groups}")
+        if samples_per_shard is not None and samples_per_shard <= 0:
+            raise PartitionError(
+                f"samples_per_shard must be positive, got {samples_per_shard}"
+            )
+        self.num_groups = num_groups
+        self.samples_per_shard = samples_per_shard
+
+    def partition(
+        self, dataset: Dataset, num_clients: int, rng: SeedLike = None
+    ) -> Partition:
+        self._check_num_clients(num_clients, len(dataset))
+        if num_clients % self.num_groups != 0:
+            raise PartitionError(
+                f"num_clients ({num_clients}) must be a multiple of num_groups "
+                f"({self.num_groups})"
+            )
+        rng = as_rng(rng)
+        group_size = num_clients // self.num_groups
+
+        # Total shards needed if every member of group g gets g shards:
+        # group_size * (1 + 2 + ... + num_groups).
+        baseline_shards = group_size * self.num_groups * (self.num_groups + 1) // 2
+        if self.samples_per_shard is not None:
+            num_shards = len(dataset) // self.samples_per_shard
+        else:
+            num_shards = baseline_shards
+        if num_shards < baseline_shards:
+            raise PartitionError(
+                f"need at least {baseline_shards} shards but the dataset only "
+                f"supports {num_shards}; reduce num_groups or samples_per_shard"
+            )
+
+        jitter = rng.random(len(dataset))
+        order = np.lexsort((jitter, dataset.labels))
+        shards = np.array_split(order, num_shards)
+        shard_order = list(rng.permutation(num_shards))
+
+        client_indices: list[np.ndarray] = [np.array([], dtype=np.int64)] * num_clients
+        cursor = 0
+        client_id = 0
+        for group in range(1, self.num_groups + 1):
+            for member in range(group_size):
+                is_last_client = group == self.num_groups and member == group_size - 1
+                if is_last_client:
+                    own = shard_order[cursor:]
+                else:
+                    own = shard_order[cursor : cursor + group]
+                cursor += len(own)
+                if own:
+                    indices = np.concatenate([shards[s] for s in own])
+                else:
+                    indices = np.array([], dtype=np.int64)
+                client_indices[client_id] = np.sort(indices)
+                client_id += 1
+
+        partition = Partition(
+            client_indices=client_indices,
+            dataset_size=len(dataset),
+            scheme=self.scheme,
+            metadata={
+                "num_groups": self.num_groups,
+                "num_shards": num_shards,
+                "group_size": group_size,
+            },
+        )
+        partition.validate()
+        return partition

@@ -1,0 +1,71 @@
+"""Descriptive statistics of a partition (used for Table VI and diagnostics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.partition.base import Partition
+
+
+@dataclass
+class PartitionStats:
+    """Summary of how a partition distributes data across clients.
+
+    Mirrors the columns of the paper's Table VI (clients, samples, mean,
+    stdev) and adds label-distribution diagnostics.
+    """
+
+    num_clients: int
+    total_samples: int
+    mean_samples: float
+    std_samples: float
+    min_samples: int
+    max_samples: int
+    mean_classes_per_client: float
+    label_entropy: float
+
+    def as_table_row(self) -> dict[str, float]:
+        """Row in the format of the paper's Table VI."""
+        return {
+            "Clients": self.num_clients,
+            "Samples": self.total_samples,
+            "Mean": round(self.mean_samples, 2),
+            "Stdev": round(self.std_samples, 2),
+        }
+
+
+def _mean_label_entropy(partition: Partition, dataset: Dataset) -> float:
+    """Average entropy (nats) of each client's label distribution."""
+    entropies = []
+    for indices in partition.client_indices:
+        if len(indices) == 0:
+            continue
+        counts = np.bincount(dataset.labels[indices], minlength=dataset.num_classes)
+        probs = counts / counts.sum()
+        nonzero = probs[probs > 0]
+        entropies.append(float(-(nonzero * np.log(nonzero)).sum()))
+    return float(np.mean(entropies)) if entropies else 0.0
+
+
+def compute_partition_stats(partition: Partition, dataset: Dataset) -> PartitionStats:
+    """Compute :class:`PartitionStats` for ``partition`` over ``dataset``."""
+    sizes = partition.client_sizes()
+    classes_per_client = []
+    for indices in partition.client_indices:
+        if len(indices) == 0:
+            classes_per_client.append(0)
+        else:
+            classes_per_client.append(len(np.unique(dataset.labels[indices])))
+    return PartitionStats(
+        num_clients=partition.num_clients,
+        total_samples=int(sizes.sum()),
+        mean_samples=float(sizes.mean()) if sizes.size else 0.0,
+        std_samples=float(sizes.std()) if sizes.size else 0.0,
+        min_samples=int(sizes.min()) if sizes.size else 0,
+        max_samples=int(sizes.max()) if sizes.size else 0,
+        mean_classes_per_client=float(np.mean(classes_per_client)),
+        label_entropy=_mean_label_entropy(partition, dataset),
+    )

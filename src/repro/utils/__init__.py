@@ -1,0 +1,25 @@
+"""Shared utilities: seeded randomness, validation helpers, serialization."""
+
+from repro.utils.rng import RngFactory, as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_same_length,
+)
+from repro.utils.serialization import to_jsonable, save_json, load_json
+
+__all__ = [
+    "RngFactory",
+    "as_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_same_length",
+    "to_jsonable",
+    "save_json",
+    "load_json",
+]

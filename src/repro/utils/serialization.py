@@ -1,0 +1,51 @@
+"""JSON-friendly serialization helpers for experiment results and configs."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into something ``json.dumps`` accepts.
+
+    Handles numpy scalars and arrays, dataclasses, dictionaries, and
+    sequences.  Unknown objects are converted with ``str``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(item) for item in obj]
+    return str(obj)
+
+
+def save_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialize ``obj`` to JSON at ``path`` (parent directories are created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent)
+    return target
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (python -m repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main, run_experiment
+
+
+class TestCliListing:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "table3" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table7"])
+
+
+class TestCliRuns:
+    def test_table1_runs_without_training(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "fedadmm" in out and "fedavg" in out
+
+    def test_table3_small_run_and_json_output(self, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        code = main(
+            [
+                "table3",
+                "--dataset",
+                "blobs",
+                "--clients",
+                "8",
+                "--rounds",
+                "2",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert "summary" in payload
+        out = capsys.readouterr().out
+        assert "fedadmm" in out
+
+    def test_table4_small_run(self, capsys):
+        code = main(["table4", "--dataset", "blobs", "--clients", "8", "--rounds", "2"])
+        assert code == 0
+        assert "rounds_to_target" in capsys.readouterr().out
+
+    def test_fig6_small_run(self, capsys):
+        code = main(
+            ["fig6", "--dataset", "blobs", "--clients", "8", "--rounds", "4", "--non-iid"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eta=1.0" in out
+
+    def test_run_experiment_rejects_unknown_name(self):
+        class Args:
+            dataset = "blobs"
+            non_iid = False
+            scale = "bench"
+            clients = 8
+            rounds = 2
+            rho = 0.3
+            seed = 0
+
+        with pytest.raises(ValueError):
+            run_experiment("not-an-experiment", Args())

@@ -1,0 +1,164 @@
+"""Tests for the convergence-theory helpers (Theorem 1, V_t, Table I)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    COMPLEXITY_TABLE,
+    Theorem1Constants,
+    expected_rounds_bound,
+    minimum_rho,
+    optimality_gap,
+    round_complexity,
+    theorem1_constants,
+)
+from repro.exceptions import ConfigurationError, ConvergenceError
+
+
+class TestMinimumRho:
+    def test_value(self):
+        assert minimum_rho(1.0) == pytest.approx(1.0 + math.sqrt(5.0))
+
+    def test_scales_linearly(self):
+        assert minimum_rho(2.0) == pytest.approx(2 * minimum_rho(1.0))
+
+    def test_negative_lipschitz_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minimum_rho(-1.0)
+
+
+class TestTheorem1Constants:
+    def test_c1_positive_above_threshold(self):
+        lipschitz = 1.0
+        constants = theorem1_constants(rho=minimum_rho(lipschitz) * 1.01, lipschitz=lipschitz, p_min=0.1)
+        assert constants.is_valid()
+        assert constants.c1 > 0
+        assert constants.c2 > 0
+        assert constants.c3 > 0
+
+    def test_c1_non_positive_below_threshold(self):
+        constants = theorem1_constants(rho=1.0, lipschitz=1.0, p_min=0.1)
+        assert not constants.is_valid()
+        assert math.isnan(constants.c3)
+
+    def test_c1_formula(self):
+        rho, lipschitz, p_min = 10.0, 1.0, 0.2
+        constants = theorem1_constants(rho, lipschitz, p_min)
+        expected = p_min * ((rho - 2 * lipschitz) / 2 - 2 * lipschitz**2 / rho)
+        assert constants.c1 == pytest.approx(expected)
+
+    def test_c1_scales_with_pmin(self):
+        a = theorem1_constants(10.0, 1.0, 0.1)
+        b = theorem1_constants(10.0, 1.0, 0.2)
+        assert b.c1 == pytest.approx(2 * a.c1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            theorem1_constants(rho=0.0, lipschitz=1.0, p_min=0.1)
+        with pytest.raises(ConfigurationError):
+            theorem1_constants(rho=1.0, lipschitz=0.0, p_min=0.1)
+        with pytest.raises(ConfigurationError):
+            theorem1_constants(rho=1.0, lipschitz=1.0, p_min=0.0)
+
+
+class TestExpectedRoundsBound:
+    def _constants(self, p_min=0.1):
+        return theorem1_constants(rho=10.0, lipschitz=1.0, p_min=p_min)
+
+    def test_bound_decreases_with_looser_target(self):
+        constants = self._constants()
+        tight = expected_rounds_bound(0.01, 10.0, 0.0, 10, constants)
+        loose = expected_rounds_bound(0.1, 10.0, 0.0, 10, constants)
+        assert tight > loose
+
+    def test_bound_scales_inversely_with_pmin(self):
+        """The O(1/(eps * p_min)) dependence of Remark 1."""
+        low = expected_rounds_bound(0.01, 10.0, 0.0, 10, self._constants(p_min=0.05))
+        high = expected_rounds_bound(0.01, 10.0, 0.0, 10, self._constants(p_min=0.5))
+        assert low > high
+        assert low / high == pytest.approx(10.0, rel=1e-6)
+
+    def test_invalid_constants_rejected(self):
+        bad = theorem1_constants(rho=1.0, lipschitz=1.0, p_min=0.1)
+        with pytest.raises(ConvergenceError):
+            expected_rounds_bound(0.01, 10.0, 0.0, 10, bad)
+
+    def test_inexactness_floor(self):
+        constants = self._constants()
+        with pytest.raises(ConvergenceError):
+            expected_rounds_bound(
+                1e-9, 10.0, 0.0, 10, constants, epsilon_max=1.0
+            )
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            expected_rounds_bound(0.0, 10.0, 0.0, 10, self._constants())
+
+
+class TestOptimalityGap:
+    def test_zero_at_stationary_consensus(self):
+        theta = np.array([1.0, 2.0])
+        assert optimality_gap([theta.copy()], [np.zeros(2)], theta) == 0.0
+
+    def test_positive_off_consensus(self):
+        theta = np.zeros(2)
+        gap = optimality_gap([np.ones(2)], [np.ones(2)], theta)
+        assert gap == pytest.approx(2.0 + 2.0)
+
+    def test_includes_theta_grad_when_given(self):
+        theta = np.zeros(2)
+        base = optimality_gap([theta], [np.zeros(2)], theta)
+        with_grad = optimality_gap([theta], [np.zeros(2)], theta, theta_grad=np.ones(2))
+        assert with_grad == pytest.approx(base + 2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            optimality_gap([np.zeros(2)], [], np.zeros(2))
+
+
+class TestTableIComplexity:
+    def test_all_methods_present(self):
+        assert set(COMPLEXITY_TABLE) == {"fedavg", "fedprox", "scaffold", "fedpd", "fedadmm"}
+
+    def test_fedadmm_scaling(self):
+        """FedADMM: O((1/eps) * (m/S)) — linear in 1/eps and in m/S."""
+        base = round_complexity("fedadmm", 0.01, 1000, 100)
+        assert round_complexity("fedadmm", 0.005, 1000, 100) == pytest.approx(2 * base)
+        assert round_complexity("fedadmm", 0.01, 1000, 50) == pytest.approx(2 * base)
+
+    def test_fedavg_worse_than_fedadmm_for_small_epsilon(self):
+        """The 1/eps^2 term dominates FedAvg at high accuracy (Table I)."""
+        eps = 1e-4
+        assert round_complexity("fedavg", eps, 1000, 100) > round_complexity(
+            "fedadmm", eps, 1000, 100
+        )
+
+    def test_scaffold_worse_than_fedadmm_for_small_epsilon(self):
+        eps = 1e-5
+        assert round_complexity("scaffold", eps, 1000, 100) > round_complexity(
+            "fedadmm", eps, 1000, 100
+        )
+
+    def test_fedprox_depends_on_dissimilarity(self):
+        small_b = round_complexity("fedprox", 0.01, 100, 10, dissimilarity_b=1.0)
+        large_b = round_complexity("fedprox", 0.01, 100, 10, dissimilarity_b=10.0)
+        assert large_b == pytest.approx(100 * small_b)
+
+    def test_fedpd_matches_full_participation_fedadmm(self):
+        """With S = m, FedADMM's predicted complexity equals FedPD's O(1/eps)."""
+        eps = 0.01
+        assert round_complexity("fedadmm", eps, 100, 100) == pytest.approx(
+            round_complexity("fedpd", eps, 100, 100)
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            round_complexity("fedavg2", 0.1, 10, 1)
+
+    def test_invalid_epsilon_and_counts(self):
+        with pytest.raises(ConfigurationError):
+            round_complexity("fedavg", 0.0, 10, 1)
+        with pytest.raises(ConfigurationError):
+            round_complexity("fedavg", 0.1, 10, 20)

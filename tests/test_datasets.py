@@ -1,0 +1,167 @@
+"""Tests for dataset containers, synthetic generators, registry, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, iterate_minibatches, train_test_split
+from repro.datasets.registry import DATASET_REGISTRY, dataset_info, load_dataset
+from repro.datasets.synthetic import (
+    SyntheticImageSpec,
+    make_blobs,
+    make_synthetic_images,
+)
+from repro.datasets.transforms import flatten_images, normalize_features, standardize
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class TestDataset:
+    def test_length_and_classes(self):
+        data = Dataset(features=np.zeros((6, 3)), labels=np.array([0, 1, 2, 0, 1, 2]))
+        assert len(data) == 6
+        assert data.num_classes == 3
+        assert data.feature_dim == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ShapeError):
+            Dataset(features=np.zeros((5, 2)), labels=np.zeros(4, dtype=int))
+
+    def test_subset(self):
+        data = Dataset(features=np.arange(10).reshape(5, 2), labels=np.arange(5))
+        sub = data.subset(np.array([0, 3]))
+        assert len(sub) == 2
+        assert np.array_equal(sub.labels, [0, 3])
+
+    def test_label_counts(self):
+        data = Dataset(features=np.zeros((4, 1)), labels=np.array([0, 0, 2, 2]))
+        assert np.array_equal(data.label_counts(), [2, 0, 2])
+
+    def test_shuffled_preserves_content(self):
+        data = Dataset(features=np.arange(12).reshape(6, 2), labels=np.arange(6))
+        shuffled = data.shuffled(rng=0)
+        assert sorted(shuffled.labels.tolist()) == list(range(6))
+
+
+class TestMinibatches:
+    def test_full_batch_when_none(self):
+        x, y = np.zeros((10, 2)), np.zeros(10, dtype=int)
+        batches = list(iterate_minibatches(x, y, None))
+        assert len(batches) == 1
+        assert batches[0][0].shape == (10, 2)
+
+    def test_batches_cover_all_samples(self):
+        x = np.arange(14).reshape(7, 2).astype(float)
+        y = np.arange(7)
+        batches = list(iterate_minibatches(x, y, 3, rng=0))
+        total = np.concatenate([b[1] for b in batches])
+        assert sorted(total.tolist()) == list(range(7))
+        assert len(batches) == 3
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ShapeError):
+            list(iterate_minibatches(np.zeros((4, 1)), np.zeros(4, dtype=int), 0))
+
+    def test_empty_dataset_yields_nothing(self):
+        assert list(iterate_minibatches(np.zeros((0, 2)), np.zeros(0, dtype=int), 4)) == []
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        data = Dataset(features=np.zeros((20, 2)), labels=np.arange(20) % 4)
+        split = train_test_split(data, test_fraction=0.25, rng=0)
+        assert len(split.test) == 5
+        assert len(split.train) == 15
+
+    def test_invalid_fraction(self):
+        data = Dataset(features=np.zeros((10, 2)), labels=np.zeros(10, dtype=int))
+        with pytest.raises(ShapeError):
+            train_test_split(data, test_fraction=1.5)
+
+
+class TestSyntheticGenerators:
+    def test_blobs_shapes_and_balance(self):
+        split = make_blobs(n_train=100, n_test=40, num_classes=5, feature_dim=8, rng=0)
+        assert split.train.features.shape == (100, 8)
+        assert split.train.num_classes == 5
+        counts = split.train.label_counts()
+        assert counts.max() - counts.min() <= 1
+
+    def test_blobs_deterministic(self):
+        a = make_blobs(n_train=50, n_test=10, rng=3)
+        b = make_blobs(n_train=50, n_test=10, rng=3)
+        assert np.array_equal(a.train.features, b.train.features)
+
+    def test_images_shapes(self):
+        spec = SyntheticImageSpec(channels=1, image_size=12, num_classes=4)
+        split = make_synthetic_images(n_train=40, n_test=12, spec=spec, rng=0)
+        assert split.train.features.shape == (40, 144)
+        assert split.test.features.shape == (12, 144)
+
+    def test_images_unflattened_option(self):
+        spec = SyntheticImageSpec(channels=3, image_size=8, num_classes=3)
+        split = make_synthetic_images(n_train=9, n_test=3, spec=spec, rng=0, flatten=False)
+        assert split.train.features.shape == (9, 3, 8, 8)
+
+    def test_images_learnable_signal(self):
+        """Same-class samples must be closer to their prototype than to others."""
+        spec = SyntheticImageSpec(channels=1, image_size=10, num_classes=3, noise_std=0.2)
+        split = make_synthetic_images(n_train=90, n_test=30, spec=spec, rng=0)
+        features, labels = split.train.features, split.train.labels
+        centroids = np.stack([features[labels == c].mean(axis=0) for c in range(3)])
+        distances = ((features[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        nearest = distances.argmin(axis=1)
+        assert (nearest == labels).mean() > 0.9
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticImageSpec(noise_std=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_blobs(num_classes=0)
+
+
+class TestRegistry:
+    def test_registry_matches_paper_datasets(self):
+        assert {"mnist", "fmnist", "cifar10"} <= set(DATASET_REGISTRY)
+        assert DATASET_REGISTRY["mnist"].input_dim == 784
+        assert DATASET_REGISTRY["cifar10"].input_dim == 3072
+
+    def test_paper_target_accuracies(self):
+        assert DATASET_REGISTRY["mnist"].paper_target_accuracy == 0.97
+        assert DATASET_REGISTRY["fmnist"].paper_target_accuracy == 0.80
+        assert DATASET_REGISTRY["cifar10"].paper_target_accuracy == 0.45
+
+    def test_load_dataset_shapes(self):
+        split = load_dataset("cifar10", n_train=30, n_test=10, rng=0)
+        assert split.train.features.shape == (30, 3072)
+        assert split.num_classes == 10
+
+    def test_load_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("imagenet")
+
+    def test_dataset_info_accessor(self):
+        assert dataset_info("fmnist").image_size == 28
+
+
+class TestTransforms:
+    def test_flatten_images(self):
+        data = Dataset(features=np.zeros((4, 2, 3, 3)), labels=np.zeros(4, dtype=int))
+        assert flatten_images(data).features.shape == (4, 18)
+
+    def test_flatten_noop_for_flat(self):
+        data = Dataset(features=np.zeros((4, 6)), labels=np.zeros(4, dtype=int))
+        assert flatten_images(data).features.shape == (4, 6)
+
+    def test_normalize_range(self):
+        data = Dataset(
+            features=np.array([[-5.0, 0.0], [5.0, 10.0]]), labels=np.zeros(2, dtype=int)
+        )
+        normalized = normalize_features(data)
+        assert normalized.features.min() == 0.0
+        assert normalized.features.max() == 1.0
+
+    def test_standardize_moments(self):
+        rng = np.random.default_rng(0)
+        data = Dataset(features=rng.normal(3.0, 2.0, size=(200, 5)), labels=np.zeros(200, dtype=int))
+        standardized = standardize(data)
+        assert np.allclose(standardized.features.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(standardized.features.std(axis=0), 1.0, atol=1e-8)

@@ -1,0 +1,244 @@
+"""Tests for the experiment harness: configs, runner studies, tables, figures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import (
+    AlgorithmSpec,
+    ExperimentConfig,
+    default_algorithms,
+    fig3_config,
+    fig5_config,
+    fig6_config,
+    fig8_config,
+    fig9_config,
+    table3_config,
+    table4_config,
+    table5_config,
+    table6_config,
+)
+from repro.experiments.figures import accuracy_series, final_accuracies, series_to_text
+from repro.experiments.runner import (
+    build_simulation,
+    prepare_environment,
+    rounds_summary,
+    run_comparison,
+    run_imbalanced_study,
+    run_local_epochs_study,
+    run_local_init_study,
+    run_rho_schedule_study,
+    run_rho_sensitivity_table,
+    run_scale_sweep,
+    run_server_stepsize_study,
+    run_single,
+)
+from repro.experiments.tables import comparison_to_rows, format_table, table3_text
+
+# A deliberately tiny configuration so every study smoke-tests in seconds.
+TINY = ExperimentConfig(
+    name="tiny",
+    dataset="blobs",
+    n_train=300,
+    n_test=120,
+    model="mlp",
+    model_kwargs={"input_dim": 32, "hidden_dims": (16,)},
+    num_clients=10,
+    partition="iid",
+    client_fraction=0.3,
+    local_epochs=2,
+    batch_size=16,
+    learning_rate=0.2,
+    num_rounds=4,
+    target_accuracy=0.5,
+    seed=0,
+)
+
+TINY_NON_IID = TINY.with_overrides(
+    name="tiny-noniid", partition="shard", partition_kwargs={"shards_per_client": 2}
+)
+
+
+class TestConfigs:
+    def test_all_presets_construct_at_bench_scale(self):
+        presets = [
+            table3_config(),
+            table3_config(dataset="cifar10", non_iid=True),
+            table4_config(),
+            table5_config(),
+            table6_config(),
+            fig3_config(),
+            fig5_config(),
+            fig6_config(),
+            fig8_config(),
+            fig9_config(),
+        ]
+        for preset in presets:
+            assert preset.num_clients > 0
+            assert 0 < preset.target_accuracy <= 1
+
+    def test_paper_scale_uses_paper_models_and_targets(self):
+        mnist = table3_config(dataset="mnist", scale="paper")
+        assert mnist.model == "cnn1"
+        assert mnist.target_accuracy == 0.97
+        cifar = table3_config(dataset="cifar10", scale="paper", num_clients=1000)
+        assert cifar.model == "cnn2"
+        assert cifar.local_epochs == 20
+
+    def test_table6_uses_imbalanced_partition(self):
+        assert table6_config().partition == "imbalanced"
+
+    def test_table4_disables_system_heterogeneity(self):
+        assert table4_config().system_heterogeneity is False
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table3_config(scale="huge")
+
+    def test_with_overrides(self):
+        assert TINY.with_overrides(num_rounds=9).num_rounds == 9
+        with pytest.raises(ConfigurationError):
+            TINY.with_overrides(client_fraction=0.0)
+
+    def test_default_algorithms_labels(self):
+        labels = [spec.label() for spec in default_algorithms()]
+        assert any(label.startswith("fedadmm") for label in labels)
+        assert any(label.startswith("fedsgd") for label in labels)
+        assert AlgorithmSpec("fedprox", {"rho": 0.1}).label() == "fedprox(rho=0.1)"
+
+
+class TestRunnerBasics:
+    def test_prepare_environment(self):
+        split, clients, stats = prepare_environment(TINY)
+        assert len(clients) == 10
+        assert stats.total_samples == TINY.n_train
+        assert split.test.feature_dim == 32
+
+    def test_build_simulation_uses_config(self):
+        sim = build_simulation(TINY, AlgorithmSpec("fedavg", {}))
+        assert len(sim.clients) == TINY.num_clients
+        assert sim.learning_rate == TINY.learning_rate
+
+    def test_run_single_stops_at_target(self):
+        result = run_single(TINY, AlgorithmSpec("fedavg", {}), stop_at_target=True)
+        assert result.rounds_run <= TINY.num_rounds
+
+    def test_run_comparison_shares_data_and_isolates_state(self):
+        comparison = run_comparison(
+            TINY, [AlgorithmSpec("fedadmm", {"rho": 0.3}), AlgorithmSpec("fedavg", {})]
+        )
+        assert set(comparison.rounds_table()) == {"fedadmm(rho=0.3)", "fedavg"}
+        assert comparison.partition_stats.total_samples == TINY.n_train
+
+    def test_rounds_summary_and_reduction(self):
+        comparison = run_comparison(
+            TINY,
+            [
+                AlgorithmSpec("fedsgd", {"server_learning_rate": 0.5}),
+                AlgorithmSpec("fedadmm", {"rho": 0.3}),
+                AlgorithmSpec("fedavg", {}),
+            ],
+        )
+        summary = rounds_summary(comparison)
+        assert set(summary) == set(comparison.results)
+        for info in summary.values():
+            assert "rounds" in info and "formatted" in info
+        # reduction_of returns None or a float < 1
+        reduction = comparison.reduction_of("fedadmm(rho=0.3)")
+        assert reduction is None or reduction < 1.0
+
+    def test_empty_algorithm_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_comparison(TINY, [])
+
+
+class TestStudies:
+    def test_scale_sweep(self):
+        sweeps = run_scale_sweep(
+            TINY, populations=[6, 12], algorithms=[AlgorithmSpec("fedavg", {})]
+        )
+        assert set(sweeps) == {6, 12}
+        assert sweeps[6].config.num_clients == 6
+
+    def test_server_stepsize_study_includes_switch(self):
+        results = run_server_stepsize_study(
+            TINY_NON_IID, etas=(0.5, 1.0), switch_round=2, rho=0.3
+        )
+        assert len(results) == 3
+        assert any("->" in label for label in results)
+        for result in results.values():
+            assert result.rounds_run == TINY_NON_IID.num_rounds
+
+    def test_local_epochs_study(self):
+        results = run_local_epochs_study(TINY, epoch_counts=(1, 2), rho=0.3)
+        assert set(results) == {1, 2}
+
+    def test_local_init_study_labels(self):
+        results = run_local_init_study(TINY_NON_IID, etas=(1.0,), rho=0.3)
+        assert set(results) == {"I-warm-eta=1.0", "II-restart-eta=1.0"}
+
+    def test_rho_sensitivity_table(self):
+        table = run_rho_sensitivity_table(
+            {"tiny": TINY_NON_IID}, prox_rhos=(0.1,), admm_rho=0.3
+        )
+        labels = set(table["tiny"].results)
+        assert labels == {"fedadmm(rho=0.3)", "fedprox(rho=0.1)"}
+
+    def test_rho_schedule_study(self):
+        results = run_rho_schedule_study(
+            TINY_NON_IID, constant_rhos=(0.3,), switch_round=2, switch_values=(0.3, 1.0)
+        )
+        assert len(results) == 2
+
+    def test_imbalanced_study_requires_imbalanced_partition(self):
+        with pytest.raises(ConfigurationError):
+            run_imbalanced_study(TINY, [AlgorithmSpec("fedavg", {})])
+
+    def test_imbalanced_study_runs(self):
+        config = TINY.with_overrides(
+            name="tiny-imbalanced",
+            partition="imbalanced",
+            partition_kwargs={"num_groups": 5},
+            num_clients=10,
+        )
+        comparison = run_imbalanced_study(config, [AlgorithmSpec("fedavg", {})])
+        assert comparison.partition_stats.std_samples > 0
+
+
+class TestTablesAndFigures:
+    def _comparison(self):
+        return run_comparison(
+            TINY,
+            [
+                AlgorithmSpec("fedsgd", {"server_learning_rate": 0.5}),
+                AlgorithmSpec("fedadmm", {"rho": 0.3}),
+            ],
+        )
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": None}, {"a": 20, "b": 0.5}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "-" in lines[1]
+
+    def test_format_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_comparison_to_rows(self):
+        rows = comparison_to_rows(self._comparison())
+        assert len(rows) == 2
+        assert {"method", "rounds", "speedup_vs_fedsgd"} <= set(rows[0])
+
+    def test_table3_text_contains_reduction_row(self):
+        text = table3_text({"tiny": self._comparison()})
+        assert "reduction" in text
+
+    def test_accuracy_series_and_text(self):
+        comparison = self._comparison()
+        series = {
+            label: accuracy_series(result) for label, result in comparison.results.items()
+        }
+        text = series_to_text(series, max_points=3)
+        assert all(label in text for label in series)
+        finals = final_accuracies(comparison.results)
+        assert all(0.0 <= value <= 1.0 for value in finals.values())

@@ -1,0 +1,101 @@
+"""Tests for the metrics package."""
+
+import pytest
+
+from repro.algorithms import FedAvg, Scaffold
+from repro.exceptions import ConfigurationError
+from repro.federated.history import RoundRecord, TrainingHistory
+from repro.metrics.communication import (
+    communication_to_target_bytes,
+    per_round_upload_floats,
+    total_upload_floats,
+)
+from repro.metrics.rounds_to_target import format_rounds, rounds_to_target
+from repro.metrics.speedup import reduction_vs_best_baseline, speedup_vs_reference
+
+
+def _history(accuracies):
+    history = TrainingHistory(algorithm="x")
+    for index, accuracy in enumerate(accuracies, start=1):
+        history.append(
+            RoundRecord(
+                round_index=index,
+                test_accuracy=accuracy,
+                test_loss=0.1,
+                train_loss=0.1,
+                num_selected=1,
+                upload_floats=1,
+                download_floats=1,
+                mean_local_epochs=1.0,
+            )
+        )
+    return history
+
+
+class TestRoundsToTarget:
+    def test_reached(self):
+        result = rounds_to_target(_history([0.3, 0.6, 0.9]), 0.6, budget=10)
+        assert result.reached
+        assert result.rounds == 2
+        assert format_rounds(result) == "2"
+        assert result.effective_rounds() == 2
+
+    def test_not_reached_formats_like_paper(self):
+        result = rounds_to_target(_history([0.3, 0.4]), 0.9, budget=100)
+        assert not result.reached
+        assert format_rounds(result) == "100+"
+        assert result.effective_rounds() == 100
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            rounds_to_target(_history([0.5]), 0.0)
+
+
+class TestSpeedup:
+    def test_basic_ratio(self):
+        assert speedup_vs_reference(10, 297) == pytest.approx(29.7)
+
+    def test_none_propagates(self):
+        assert speedup_vs_reference(None, 100) is None
+        assert speedup_vs_reference(10, None) is None
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ConfigurationError):
+            speedup_vs_reference(0, 10)
+
+
+class TestReduction:
+    def test_matches_paper_table3_example(self):
+        """MNIST 100-client IID: FedADMM 10 vs best baseline FedAvg 19 -> 47.4%."""
+        reduction = reduction_vs_best_baseline(10, {"fedavg": 19, "fedprox": 29, "scaffold": 27})
+        assert reduction == pytest.approx(1 - 10 / 19)
+
+    def test_ignores_unfinished_baselines(self):
+        reduction = reduction_vs_best_baseline(5, {"fedavg": None, "fedprox": 20})
+        assert reduction == pytest.approx(0.75)
+
+    def test_undefined_cases(self):
+        assert reduction_vs_best_baseline(None, {"fedavg": 10}) is None
+        assert reduction_vs_best_baseline(5, {"fedavg": None}) is None
+
+
+class TestCommunication:
+    def test_per_round_upload(self):
+        assert per_round_upload_floats(FedAvg(), dim=1000, num_selected=10) == 10_000
+        assert per_round_upload_floats(Scaffold(), dim=1000, num_selected=10) == 20_000
+
+    def test_scaffold_doubles_fedavg(self):
+        """The paper's repeated point: SCAFFOLD uploads 2x per round."""
+        avg = total_upload_floats(FedAvg(), 500, 10, 7)
+        scaffold = total_upload_floats(Scaffold(), 500, 10, 7)
+        assert scaffold == 2 * avg
+
+    def test_bytes_to_target(self):
+        assert communication_to_target_bytes(FedAvg(), 100, 10, rounds_to_target=3) == 100 * 10 * 3 * 4
+        assert communication_to_target_bytes(FedAvg(), 100, 10, rounds_to_target=None) is None
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            per_round_upload_floats(FedAvg(), 0, 10)
+        with pytest.raises(ConfigurationError):
+            total_upload_floats(FedAvg(), 10, 10, -1)

@@ -1,0 +1,87 @@
+"""Tests for repro.nn.functional (im2col, softmax, one-hot)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert encoded.shape == (3, 3)
+        assert np.array_equal(encoded.argmax(axis=1), [0, 2, 1])
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_log_softmax_consistency(self):
+        logits = np.random.default_rng(1).normal(size=(4, 6))
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+    def test_numerical_stability_large_values(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, [[0.5, 0.5]])
+
+
+class TestConvOutputSize:
+    def test_same_padding(self):
+        assert conv_output_size(28, 5, 1, 2) == 28
+
+    def test_pooling(self):
+        assert conv_output_size(28, 2, 2, 0) == 14
+
+    def test_invalid_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_identity_kernel_recovers_pixels(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 1, 1, 1, 0)
+        assert np.array_equal(cols.ravel(), x.ravel())
+
+    def test_col2im_adjoint_property(self):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 2, 6, 6))
+        cols = im2col(x, 3, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, 1, 1)).sum())
+        assert np.isclose(lhs, rhs)
+
+    def test_non_4d_rejected(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((3, 8, 8)), 3, 3, 1, 1)

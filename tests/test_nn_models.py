@@ -1,0 +1,90 @@
+"""Tests for the model zoo, including the paper's exact parameter counts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import (
+    CNN1,
+    CNN2,
+    MLP,
+    MODEL_REGISTRY,
+    LogisticRegression,
+    SmallCNN,
+    build_model,
+)
+
+
+class TestPaperArchitectures:
+    def test_cnn1_parameter_count_matches_table2(self):
+        """Table II: the MNIST/FMNIST CNN has exactly 1,663,370 parameters."""
+        assert CNN1(rng=0).num_params == 1_663_370
+
+    def test_cnn2_parameter_count_matches_table2(self):
+        """Table II: the CIFAR-10 CNN has exactly 1,105,098 parameters."""
+        assert CNN2(rng=0).num_params == 1_105_098
+
+    def test_cnn1_forward_from_flat_input(self):
+        model = CNN1(rng=0)
+        out = model.forward(np.random.default_rng(0).normal(size=(2, 784)))
+        assert out.shape == (2, 10)
+
+    def test_cnn2_forward_from_flat_input(self):
+        model = CNN2(rng=0)
+        out = model.forward(np.random.default_rng(0).normal(size=(2, 3072)))
+        assert out.shape == (2, 10)
+
+    def test_cnn1_rejects_wrong_input_dim(self):
+        with pytest.raises(ShapeError):
+            CNN1(rng=0).forward(np.zeros((2, 100)))
+
+
+class TestSmallModels:
+    def test_mlp_shapes(self):
+        model = MLP(input_dim=20, hidden_dims=(8, 8), num_classes=5, rng=0)
+        out = model.forward(np.random.default_rng(0).normal(size=(3, 20)))
+        assert out.shape == (3, 5)
+
+    def test_logistic_regression_param_count(self):
+        model = LogisticRegression(input_dim=10, num_classes=4, rng=0)
+        assert model.num_params == 10 * 4 + 4
+
+    def test_small_cnn_forward(self):
+        model = SmallCNN(rng=0, channels=1, image_size=8, num_classes=3)
+        out = model.forward(np.random.default_rng(0).normal(size=(2, 64)))
+        assert out.shape == (2, 3)
+
+    def test_mlp_learns_separable_data(self):
+        """A couple of gradient steps on separable data should reduce the loss."""
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-2, 0.3, size=(30, 4)), rng.normal(2, 0.3, size=(30, 4))])
+        y = np.array([0] * 30 + [1] * 30)
+        model = MLP(input_dim=4, hidden_dims=(8,), num_classes=2, rng=0)
+        loss = CrossEntropyLoss()
+        initial = loss.value(model.forward(x), y)
+        for _ in range(30):
+            model.zero_grad()
+            value, grad_pred = loss.value_and_grad(model.forward(x), y)
+            model.backward(grad_pred)
+            flat = model.get_flat_params() - 0.5 * model.get_flat_grad()
+            model.set_flat_params(flat)
+        assert loss.value(model.forward(x), y) < initial * 0.5
+
+
+class TestRegistry:
+    def test_registry_contains_paper_models(self):
+        assert {"cnn1", "cnn2", "mlp", "logistic"} <= set(MODEL_REGISTRY)
+
+    def test_build_model_mlp(self):
+        model = build_model("mlp", rng=0, input_dim=6, num_classes=3)
+        assert model.num_params > 0
+
+    def test_build_model_unknown(self):
+        with pytest.raises(ConfigurationError):
+            build_model("transformer")
+
+    def test_same_seed_same_init(self):
+        a = build_model("mlp", rng=3, input_dim=6)
+        b = build_model("mlp", rng=3, input_dim=6)
+        assert np.array_equal(a.get_flat_params(), b.get_flat_params())

@@ -1,0 +1,82 @@
+"""Tests for Parameter and Module flat-packing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.parameter import Parameter
+
+
+class TestParameter:
+    def test_grad_initialised_to_zero(self):
+        param = Parameter(np.ones((2, 3)))
+        assert param.grad.shape == (2, 3)
+        assert np.all(param.grad == 0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(4))
+        param.grad += 1.0
+        param.zero_grad()
+        assert np.all(param.grad == 0)
+
+    def test_assign_checks_shape(self):
+        param = Parameter(np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            param.assign(np.ones(3))
+
+    def test_size(self):
+        assert Parameter(np.ones((3, 5))).size == 15
+
+
+class TestModuleFlatPacking:
+    def _model(self):
+        return Sequential(Linear(4, 3, rng=0), ReLU(), Linear(3, 2, rng=1))
+
+    def test_num_params(self):
+        model = self._model()
+        assert model.num_params == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_flat_roundtrip(self):
+        model = self._model()
+        flat = model.get_flat_params()
+        model.set_flat_params(np.zeros_like(flat))
+        assert np.all(model.get_flat_params() == 0)
+        model.set_flat_params(flat)
+        assert np.array_equal(model.get_flat_params(), flat)
+
+    def test_set_flat_params_wrong_size(self):
+        model = self._model()
+        with pytest.raises(ShapeError):
+            model.set_flat_params(np.zeros(model.num_params + 1))
+
+    def test_flat_grad_roundtrip(self):
+        model = self._model()
+        grad = np.arange(model.num_params, dtype=float)
+        model.set_flat_grad(grad)
+        assert np.array_equal(model.get_flat_grad(), grad)
+
+    def test_zero_grad_clears_all(self):
+        model = self._model()
+        model.set_flat_grad(np.ones(model.num_params))
+        model.zero_grad()
+        assert np.all(model.get_flat_grad() == 0)
+
+    def test_parameters_order_stable(self):
+        model = self._model()
+        names = [id(p) for p in model.parameters()]
+        assert names == [id(p) for p in model.parameters()]
+
+    def test_train_eval_propagates(self):
+        model = self._model()
+        model.eval()
+        assert all(not layer.training for layer in model.layers)
+        model.train()
+        assert all(layer.training for layer in model.layers)
+
+    def test_set_flat_params_does_not_alias_input(self):
+        model = self._model()
+        flat = np.zeros(model.num_params)
+        model.set_flat_params(flat)
+        flat += 5.0
+        assert np.all(model.get_flat_params() == 0)

@@ -1,0 +1,164 @@
+"""Tests for all partitioners and partition statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import make_blobs
+from repro.exceptions import ConfigurationError, PartitionError
+from repro.partition import (
+    DirichletPartitioner,
+    IidPartitioner,
+    ImbalancedPartitioner,
+    ShardPartitioner,
+    build_partitioner,
+    compute_partition_stats,
+)
+from repro.partition.base import Partition
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_blobs(n_train=600, n_test=10, num_classes=10, feature_dim=4, rng=0).train
+
+
+class TestPartitionContainer:
+    def test_validate_detects_overlap(self):
+        partition = Partition(
+            client_indices=[np.array([0, 1]), np.array([1, 2])], dataset_size=3
+        )
+        with pytest.raises(PartitionError):
+            partition.validate()
+
+    def test_validate_detects_missing_cover(self):
+        partition = Partition(client_indices=[np.array([0])], dataset_size=3)
+        with pytest.raises(PartitionError):
+            partition.validate(require_cover=True)
+        partition.validate(require_cover=False)
+
+    def test_validate_detects_out_of_range(self):
+        partition = Partition(client_indices=[np.array([5])], dataset_size=3)
+        with pytest.raises(PartitionError):
+            partition.validate(require_cover=False)
+
+    def test_client_dataset_out_of_range(self, dataset):
+        partition = IidPartitioner().partition(dataset, 4, rng=0)
+        with pytest.raises(PartitionError):
+            partition.client_dataset(dataset, 9)
+
+
+class TestIidPartitioner:
+    def test_covers_dataset_evenly(self, dataset):
+        partition = IidPartitioner().partition(dataset, 10, rng=0)
+        sizes = partition.client_sizes()
+        assert sizes.sum() == len(dataset)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_label_distribution_roughly_uniform(self, dataset):
+        partition = IidPartitioner().partition(dataset, 6, rng=0)
+        stats = compute_partition_stats(partition, dataset)
+        assert stats.mean_classes_per_client >= 9.0
+
+    def test_too_many_clients_rejected(self, dataset):
+        with pytest.raises(PartitionError):
+            IidPartitioner().partition(dataset, len(dataset) + 1, rng=0)
+
+    def test_deterministic_given_seed(self, dataset):
+        a = IidPartitioner().partition(dataset, 5, rng=7)
+        b = IidPartitioner().partition(dataset, 5, rng=7)
+        for idx_a, idx_b in zip(a.client_indices, b.client_indices):
+            assert np.array_equal(idx_a, idx_b)
+
+
+class TestShardPartitioner:
+    def test_covers_dataset(self, dataset):
+        partition = ShardPartitioner(2).partition(dataset, 20, rng=0)
+        assert partition.client_sizes().sum() == len(dataset)
+
+    def test_clients_see_few_classes(self, dataset):
+        """With two shards per client most clients hold at most ~2-3 classes."""
+        partition = ShardPartitioner(2).partition(dataset, 20, rng=0)
+        stats = compute_partition_stats(partition, dataset)
+        assert stats.mean_classes_per_client <= 3.0
+
+    def test_more_shards_more_classes(self, dataset):
+        few = compute_partition_stats(
+            ShardPartitioner(2).partition(dataset, 10, rng=0), dataset
+        )
+        many = compute_partition_stats(
+            ShardPartitioner(6).partition(dataset, 10, rng=0), dataset
+        )
+        assert many.mean_classes_per_client > few.mean_classes_per_client
+
+    def test_invalid_shards_per_client(self):
+        with pytest.raises(PartitionError):
+            ShardPartitioner(0)
+
+    def test_too_many_shards_rejected(self, dataset):
+        with pytest.raises(PartitionError):
+            ShardPartitioner(shards_per_client=200).partition(dataset, 20, rng=0)
+
+
+class TestImbalancedPartitioner:
+    def test_covers_dataset(self, dataset):
+        partition = ImbalancedPartitioner(num_groups=5).partition(dataset, 20, rng=0)
+        assert partition.client_sizes().sum() == len(dataset)
+
+    def test_volume_increases_with_group_index(self, dataset):
+        partition = ImbalancedPartitioner(num_groups=5).partition(dataset, 20, rng=0)
+        sizes = partition.client_sizes()
+        group_means = [sizes[g * 4 : (g + 1) * 4].mean() for g in range(5)]
+        assert group_means[0] < group_means[-1]
+
+    def test_volume_std_is_substantial(self, dataset):
+        """Mirrors Table VI: the std of client volumes is a sizable fraction of the mean."""
+        partition = ImbalancedPartitioner(num_groups=5).partition(dataset, 20, rng=0)
+        stats = compute_partition_stats(partition, dataset)
+        assert stats.std_samples > 0.3 * stats.mean_samples
+
+    def test_clients_must_divide_groups(self, dataset):
+        with pytest.raises(PartitionError):
+            ImbalancedPartitioner(num_groups=7).partition(dataset, 20, rng=0)
+
+    def test_table6_style_row(self, dataset):
+        partition = ImbalancedPartitioner(num_groups=5).partition(dataset, 20, rng=0)
+        row = compute_partition_stats(partition, dataset).as_table_row()
+        assert row["Clients"] == 20
+        assert row["Samples"] == len(dataset)
+
+
+class TestDirichletPartitioner:
+    def test_covers_dataset(self, dataset):
+        partition = DirichletPartitioner(alpha=0.5).partition(dataset, 12, rng=0)
+        assert partition.client_sizes().sum() == len(dataset)
+
+    def test_small_alpha_more_skewed_than_large(self, dataset):
+        skewed = compute_partition_stats(
+            DirichletPartitioner(alpha=0.05).partition(dataset, 12, rng=0), dataset
+        )
+        uniform = compute_partition_stats(
+            DirichletPartitioner(alpha=100.0).partition(dataset, 12, rng=0), dataset
+        )
+        assert skewed.label_entropy < uniform.label_entropy
+
+    def test_minimum_samples_enforced(self, dataset):
+        partition = DirichletPartitioner(alpha=0.05, min_samples_per_client=2).partition(
+            dataset, 12, rng=0
+        )
+        assert partition.client_sizes().min() >= 2
+
+    def test_invalid_alpha(self):
+        with pytest.raises(PartitionError):
+            DirichletPartitioner(alpha=0.0)
+
+
+class TestBuildPartitioner:
+    def test_known_names(self):
+        assert isinstance(build_partitioner("iid"), IidPartitioner)
+        assert isinstance(build_partitioner("shard", shards_per_client=3), ShardPartitioner)
+        assert isinstance(build_partitioner("imbalanced"), ImbalancedPartitioner)
+        assert isinstance(build_partitioner("dirichlet", alpha=1.0), DirichletPartitioner)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_partitioner("random-forest")

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These check structural invariants of the data structures the paper's
+correctness rests on: partitions are exact covers, flat packing round-trips,
+dual/message algebra matches eq. (4), and the tracking server update
+preserves the augmented-model average under the analysed step size.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.admm_server import admm_server_update, average_aggregate
+from repro.core.dual import augmented_model, dual_update, update_message
+from repro.datasets.base import Dataset
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.partition.dirichlet import DirichletPartitioner
+from repro.partition.iid import IidPartitioner
+from repro.partition.shard import ShardPartitioner
+
+# Keep hypothesis fast and deterministic enough for CI-style runs.
+COMMON_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _dataset(n, num_classes, seed):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        features=rng.normal(size=(n, 3)),
+        labels=rng.integers(0, num_classes, size=n),
+        name="prop",
+    )
+
+
+class TestPartitionProperties:
+    @given(
+        n=st.integers(min_value=20, max_value=200),
+        num_clients=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_iid_partition_is_exact_cover(self, n, num_clients, seed):
+        dataset = _dataset(n, 5, seed)
+        partition = IidPartitioner().partition(dataset, num_clients, rng=seed)
+        combined = np.sort(np.concatenate(partition.client_indices))
+        assert np.array_equal(combined, np.arange(n))
+
+    @given(
+        num_clients=st.integers(min_value=2, max_value=20),
+        shards=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_shard_partition_is_exact_cover(self, num_clients, shards, seed):
+        dataset = _dataset(240, 6, seed)
+        partition = ShardPartitioner(shards).partition(dataset, num_clients, rng=seed)
+        combined = np.sort(np.concatenate(partition.client_indices))
+        assert np.array_equal(combined, np.arange(240))
+
+    @given(
+        alpha=st.floats(min_value=0.05, max_value=10.0),
+        num_clients=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_dirichlet_partition_is_exact_cover(self, alpha, num_clients, seed):
+        dataset = _dataset(150, 4, seed)
+        partition = DirichletPartitioner(alpha=alpha, min_samples_per_client=0).partition(
+            dataset, num_clients, rng=seed
+        )
+        combined = np.sort(np.concatenate([c for c in partition.client_indices if c.size]))
+        assert np.array_equal(combined, np.arange(150))
+
+
+class TestFlatPackingProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_set_then_get_is_identity(self, seed, scale):
+        model = Sequential(Linear(5, 4, rng=0), ReLU(), Linear(4, 3, rng=1))
+        rng = np.random.default_rng(seed)
+        flat = rng.normal(scale=scale, size=model.num_params)
+        model.set_flat_params(flat)
+        assert np.allclose(model.get_flat_params(), flat)
+
+
+class TestDualAlgebraProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rho=st.floats(min_value=1e-3, max_value=10.0),
+        dim=st.integers(min_value=1, max_value=20),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_update_message_identity(self, seed, rho, dim):
+        """Delta = (w_new - w_old) + (w_new - theta) for the paper's dual update."""
+        rng = np.random.default_rng(seed)
+        w_old, y_old, w_new, theta = (rng.normal(size=dim) for _ in range(4))
+        y_new = dual_update(y_old, w_new, theta, rho)
+        delta = update_message(w_new, y_new, w_old, y_old, rho)
+        assert np.allclose(delta, (w_new - w_old) + (w_new - theta), atol=1e-6 / rho)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rho=st.floats(min_value=1e-2, max_value=10.0),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_augmented_model_linear_in_dual(self, seed, rho):
+        rng = np.random.default_rng(seed)
+        w, y1, y2 = rng.normal(size=6), rng.normal(size=6), rng.normal(size=6)
+        lhs = augmented_model(w, y1 + y2, rho)
+        rhs = augmented_model(w, y1, rho) + y2 / rho
+        assert np.allclose(lhs, rhs)
+
+
+class TestAggregationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_selected=st.integers(min_value=1, max_value=8),
+        num_clients=st.integers(min_value=8, max_value=40),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_tracking_update_preserves_augmented_mean_under_analysed_step(
+        self, seed, num_selected, num_clients
+    ):
+        """With eta = |S|/m and theta_0 = mean(u_0), theta stays the mean of
+        all clients' augmented models after any single round (eq. 20's
+        invariant)."""
+        rng = np.random.default_rng(seed)
+        dim = 5
+        u_old = rng.normal(size=(num_clients, dim))
+        theta = u_old.mean(axis=0)
+        selected = rng.choice(num_clients, size=num_selected, replace=False)
+        u_new = u_old.copy()
+        u_new[selected] = rng.normal(size=(num_selected, dim))
+        deltas = [u_new[i] - u_old[i] for i in selected]
+        eta = num_selected / num_clients
+        theta_next = admm_server_update(theta, deltas, eta)
+        assert np.allclose(theta_next, u_new.mean(axis=0))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=1, max_value=10),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_average_aggregate_within_convex_hull(self, seed, count):
+        rng = np.random.default_rng(seed)
+        models = [rng.normal(size=4) for _ in range(count)]
+        average = average_aggregate(models)
+        stacked = np.stack(models)
+        assert np.all(average <= stacked.max(axis=0) + 1e-12)
+        assert np.all(average >= stacked.min(axis=0) - 1e-12)

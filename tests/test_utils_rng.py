@@ -1,0 +1,73 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_rng, permutation_chunks, spawn_rngs
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestRngFactory:
+    def test_same_label_same_stream(self):
+        factory = RngFactory(seed=11)
+        assert factory.make("x").random() == factory.make("x").random()
+
+    def test_different_labels_different_streams(self):
+        factory = RngFactory(seed=11)
+        assert factory.make("a").random() != factory.make("b").random()
+
+    def test_different_seeds_different_streams(self):
+        assert RngFactory(1).make("a").random() != RngFactory(2).make("a").random()
+
+    def test_make_many_independent(self):
+        gens = RngFactory(0).make_many("clients", 4)
+        values = {float(g.random()) for g in gens}
+        assert len(values) == 4
+
+    def test_child_factory_deterministic(self):
+        a = RngFactory(5).child("run-1").make("x").random()
+        b = RngFactory(5).child("run-1").make("x").random()
+        assert a == b
+
+    def test_seed_property(self):
+        assert RngFactory(9).seed == 9
+
+
+class TestPermutationChunks:
+    def test_covers_all_indices_once(self):
+        chunks = permutation_chunks(as_rng(0), 17, 4)
+        combined = np.sort(np.concatenate(chunks))
+        assert np.array_equal(combined, np.arange(17))
+
+    def test_chunk_sizes_balanced(self):
+        chunks = permutation_chunks(as_rng(0), 10, 3)
+        sizes = sorted(len(c) for c in chunks)
+        assert sizes == [3, 3, 4]
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            permutation_chunks(as_rng(0), 5, 0)

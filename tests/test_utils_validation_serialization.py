@@ -1,0 +1,82 @@
+"""Tests for repro.utils.validation and repro.utils.serialization."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.utils.serialization import load_json, save_json, to_jsonable
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(0, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-1, "x")
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction(1.0, "c") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "c")
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.2, "c")
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(-0.1, "p")
+
+    def test_check_same_length(self):
+        check_same_length([1, 2], (3, 4), "a", "b")
+        with pytest.raises(ShapeError):
+            check_same_length([1], [1, 2], "a", "b")
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+
+
+class TestSerialization:
+    def test_numpy_scalars_and_arrays(self):
+        obj = {"a": np.float64(1.5), "b": np.int64(3), "c": np.arange(3)}
+        encoded = to_jsonable(obj)
+        assert encoded == {"a": 1.5, "b": 3, "c": [0, 1, 2]}
+
+    def test_dataclass(self):
+        encoded = to_jsonable(_Sample(name="x", values=np.array([1.0, 2.0])))
+        assert encoded == {"name": "x", "values": [1.0, 2.0]}
+
+    def test_nested_sequences(self):
+        assert to_jsonable([(1, 2), {3}]) == [[1, 2], [3]]
+
+    def test_round_trip_file(self, tmp_path):
+        payload = {"rounds": [1, 2, 3], "accuracy": np.float64(0.5)}
+        path = save_json(payload, tmp_path / "out" / "result.json")
+        assert load_json(path) == {"rounds": [1, 2, 3], "accuracy": 0.5}
+
+    def test_unknown_objects_become_strings(self):
+        class Opaque:
+            def __str__(self):
+                return "opaque"
+
+        assert to_jsonable(Opaque()) == "opaque"

@@ -44,6 +44,13 @@ from repro.partition import (
     build_partitioner,
 )
 from repro.nn import build_model, MLP, CNN1, CNN2, LogisticRegression
+from repro.systems import (
+    FaultInjector,
+    Transport,
+    build_codec,
+    build_executor,
+    build_network,
+)
 
 __all__ = [
     "__version__",
@@ -74,6 +81,11 @@ __all__ = [
     "CNN1",
     "CNN2",
     "LogisticRegression",
+    "Transport",
+    "FaultInjector",
+    "build_codec",
+    "build_executor",
+    "build_network",
     "quick_federated_run",
 ]
 

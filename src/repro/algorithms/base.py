@@ -114,8 +114,22 @@ class FederatedAlgorithm:
         return dim
 
     def upload_floats(self, dim: int) -> int:
-        """Scalars uploaded by one selected client per round (nominal)."""
-        return dim
+        """Scalars uploaded by one selected client per round (nominal).
+
+        Derived from :meth:`upload_vector_dims`; override that method (not
+        this one) so the transport layer's per-vector wire-size prediction
+        stays consistent with the float count.
+        """
+        return sum(self.upload_vector_dims(dim))
+
+    def upload_vector_dims(self, dim: int) -> tuple[int, ...]:
+        """Sizes of the flat vectors one upload contains.
+
+        Transport codecs compress each payload vector separately (paying any
+        per-vector overhead once per vector), so size prediction needs the
+        vector structure, not just the total float count.
+        """
+        return (dim,)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -119,5 +119,5 @@ class Scaffold(FederatedAlgorithm):
     def download_floats(self, dim: int) -> int:
         return 2 * dim
 
-    def upload_floats(self, dim: int) -> int:
-        return 2 * dim
+    def upload_vector_dims(self, dim: int) -> tuple[int, ...]:
+        return (dim, dim)

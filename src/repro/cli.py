@@ -27,6 +27,7 @@ from repro.experiments.configs import (
     fig6_config,
     fig8_config,
     fig9_config,
+    systems_config,
     table3_config,
     table4_config,
     table5_config,
@@ -43,8 +44,10 @@ from repro.experiments.runner import (
     run_rho_sensitivity_table,
     run_scale_sweep,
     run_server_stepsize_study,
+    run_systems_study,
     rounds_summary,
 )
+from repro.systems import CODEC_REGISTRY, EXECUTOR_REGISTRY, NETWORK_REGISTRY
 from repro.experiments.tables import format_table, table3_text
 from repro.utils.serialization import save_json, to_jsonable
 
@@ -59,6 +62,7 @@ EXPERIMENTS = {
     "fig6": "Fig. 6    — server step size study",
     "fig8": "Fig. 8    — local initialisation (warm start vs restart)",
     "fig9": "Fig. 9    — dynamic rho schedule",
+    "systems": "Systems   — dropout/straggler robustness under the client-systems model",
 }
 
 
@@ -85,6 +89,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default=None,
                         help="optional path to save the raw results as JSON")
+    systems = parser.add_argument_group(
+        "client-systems layer (see repro.systems)")
+    systems.add_argument("--codec", default=None, choices=sorted(CODEC_REGISTRY),
+                         help="compress uploads with this codec and account "
+                              "post-compression wire bytes")
+    systems.add_argument("--dropout", type=float, default=None,
+                         help="per-client per-round mid-round crash probability")
+    systems.add_argument("--deadline", type=float, default=None,
+                         help="round deadline in simulated seconds; slower "
+                              "clients are dropped as stragglers")
+    systems.add_argument("--network", default=None, choices=sorted(NETWORK_REGISTRY),
+                         help="per-client bandwidth/latency/compute model "
+                              "producing simulated round durations")
+    systems.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
+                         help="how local updates run: serial, thread, or process pool")
     return parser
 
 
@@ -94,6 +113,16 @@ def _apply_overrides(config, args):
         overrides["num_rounds"] = args.rounds
     if args.clients is not None:
         overrides["num_clients"] = args.clients
+    if args.codec is not None:
+        overrides["codec"] = args.codec
+    if args.dropout is not None:
+        overrides["dropout"] = args.dropout
+    if args.deadline is not None:
+        overrides["deadline_s"] = args.deadline
+    if args.network is not None:
+        overrides["network"] = args.network
+    if args.executor is not None:
+        overrides["executor"] = args.executor
     return config.with_overrides(**overrides)
 
 
@@ -206,6 +235,31 @@ def run_experiment(name: str, args) -> dict:
         config = _apply_overrides(
             fig8_config(args.dataset, non_iid=True, scale=args.scale), args)
         return _series_report(run_local_init_study(config, rho=admm_rho))
+    if name == "systems":
+        config = _apply_overrides(
+            systems_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
+        studies = run_systems_study(
+            config,
+            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
+             AlgorithmSpec("scaffold", {})],
+            dropout_rates=(0.0, config.dropout) if config.dropout > 0 else (0.0,),
+        )
+        rows = []
+        for rate, comparison in studies.items():
+            for label, result in comparison.results.items():
+                rows.append(
+                    {
+                        "dropout": rate,
+                        "algorithm": label,
+                        "final_accuracy": result.history.final_accuracy(),
+                        "raw_upload_MB": result.ledger.upload_bytes / 1e6,
+                        "wire_upload_MB": result.ledger.upload_wire_bytes / 1e6,
+                        "sim_minutes": result.simulated_seconds / 60.0,
+                        "clients_dropped": result.history.total_dropped(),
+                    }
+                )
+        print(format_table(rows))
+        return {"rows": rows}
     if name == "fig9":
         config = _apply_overrides(
             fig9_config(args.dataset, non_iid=True, scale=args.scale), args)

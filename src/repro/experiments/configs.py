@@ -58,6 +58,15 @@ class ExperimentConfig:
     target_accuracy: float = 0.80
     eval_every: int = 1
     seed: int = 0
+    # Client-systems layer (see repro.systems); the defaults reproduce the
+    # idealised synchronous engine with no compression, faults, or clock.
+    codec: str | None = None
+    codec_kwargs: dict[str, Any] = field(default_factory=dict)
+    dropout: float = 0.0
+    deadline_s: float | None = None
+    network: str | None = None
+    executor: str = "serial"
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -70,6 +79,10 @@ class ExperimentConfig:
             raise ConfigurationError("num_rounds must be positive")
         if not 0 < self.target_accuracy <= 1:
             raise ConfigurationError("target_accuracy must lie in (0, 1]")
+        if not 0 <= self.dropout < 1:
+            raise ConfigurationError("dropout must lie in [0, 1)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -336,4 +349,38 @@ def table6_config(
         partition_kwargs={"num_groups": num_groups},
         local_epochs=10 if scale == "paper" else 5,
         batch_size=50 if scale == "paper" else 20,
+    )
+
+
+def systems_config(
+    dataset: str = "blobs",
+    non_iid: bool = True,
+    scale: str = "bench",
+    seed: int = 0,
+    codec: str | None = "topk",
+    dropout: float = 0.2,
+    executor: str = "serial",
+) -> ExperimentConfig:
+    """System-heterogeneity scenario: compression, faults, and a clock.
+
+    Not a table from the paper but the regime its robustness claims target:
+    clients drop mid-round, uploads are compressed on the wire, and a
+    heavy-tailed network model yields straggler-dominated round times.
+    """
+    _check_scale(scale)
+    num_clients = 100 if scale == "paper" else 30
+    config = _base_config(
+        name=f"systems-{dataset}-{'noniid' if non_iid else 'iid'}",
+        dataset=dataset,
+        num_clients=num_clients,
+        non_iid=non_iid,
+        scale=scale,
+        seed=seed,
+    )
+    return config.with_overrides(
+        client_fraction=0.2,
+        codec=codec,
+        dropout=dropout,
+        network="lognormal",
+        executor=executor,
     )

@@ -30,6 +30,13 @@ from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import build_model
 from repro.partition import build_partitioner, compute_partition_stats
 from repro.partition.stats import PartitionStats
+from repro.systems import (
+    FaultInjector,
+    Transport,
+    build_codec,
+    build_executor,
+    build_network,
+)
 from repro.utils.rng import RngFactory
 
 #: Algorithms that, per the paper's protocol, tolerate variable local work
@@ -85,6 +92,18 @@ def build_simulation(
     model_rng = RngFactory(config.seed).make("model-init")
     model = build_model(config.model, rng=model_rng, **config.model_kwargs)
 
+    transport = (
+        Transport(build_codec(config.codec, **config.codec_kwargs))
+        if config.codec is not None
+        else None
+    )
+    network = build_network(config.network) if config.network is not None else None
+    faults = (
+        FaultInjector(dropout_rate=config.dropout, deadline_s=config.deadline_s)
+        if config.dropout > 0 or config.deadline_s is not None
+        else None
+    )
+
     return FederatedSimulation(
         algorithm=algorithm,
         model=model,
@@ -97,6 +116,10 @@ def build_simulation(
         learning_rate=config.learning_rate,
         seed=config.seed,
         eval_every=config.eval_every,
+        transport=transport,
+        network=network,
+        faults=faults,
+        executor=build_executor(config.executor, max_workers=config.max_workers),
     )
 
 
@@ -311,6 +334,28 @@ def run_rho_schedule_study(
         algorithm = build_algorithm("fedadmm", rho=schedule)
         label = f"rho={switch_values[0]}->{switch_values[1]}@{switch_round}"
         results[label] = run_single(config, algorithm, stop_at_target=False)
+    return results
+
+
+def run_systems_study(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    dropout_rates: Sequence[float] = (0.0, 0.2, 0.4),
+) -> dict[float, ComparisonResult]:
+    """System-heterogeneity study: the comparison across client dropout rates.
+
+    Every other systems knob (codec, network model, executor) is taken from
+    ``config``; runs do not stop at the target so that final accuracies are
+    comparable across rates.  This is the scenario behind the paper's
+    robustness claim: FedADMM should degrade more gracefully than
+    FedAvg/SCAFFOLD as participation gets less reliable.
+    """
+    results: dict[float, ComparisonResult] = {}
+    for rate in dropout_rates:
+        run_config = config.with_overrides(
+            dropout=rate, name=f"{config.name}-dropout{rate}"
+        )
+        results[rate] = run_comparison(run_config, algorithms, stop_at_target=False)
     return results
 
 

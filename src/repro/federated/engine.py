@@ -6,15 +6,26 @@ The engine is algorithm-agnostic.  Per round it
    :class:`repro.federated.sampler.ClientSampler`,
 2. asks the system-heterogeneity policy how many local epochs each selected
    client runs this round,
-3. calls the algorithm's ``local_update`` per selected client,
-4. calls the algorithm's ``aggregate`` to produce the next global model,
-5. records communication costs and (periodically) evaluates the global model
+3. applies the client-systems model (:mod:`repro.systems`): mid-round
+   crashes and deadline stragglers are dropped before any local work runs,
+   and per-client network/compute profiles yield a simulated round duration,
+4. runs the algorithm's ``local_update`` for every surviving client through
+   the configured executor (serially, or on a thread/process pool),
+5. round-trips the uploads through the transport codec (lossy compression
+   perturbs aggregation exactly as on a real wire) and records
+   post-compression wire bytes,
+6. calls the algorithm's ``aggregate`` to produce the next global model,
+7. records communication costs and (periodically) evaluates the global model
    on the held-out test set.
+
+Every systems component is optional; with none configured the engine is
+bit-identical to the idealised synchronous loop of the seed reproduction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,11 +37,21 @@ from repro.federated.evaluation import Evaluation, evaluate_model
 from repro.federated.heterogeneity import FixedEpochs, LocalWorkPolicy
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.local_problem import LocalProblem
-from repro.federated.messages import ClientMessage, CommunicationLedger
+from repro.federated.messages import (
+    BYTES_PER_FLOAT,
+    ClientMessage,
+    CommunicationLedger,
+)
 from repro.federated.sampler import ClientSampler, UniformFractionSampler
 from repro.nn.losses import CrossEntropyLoss, Loss
 from repro.nn.module import Module
 from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
+    from repro.systems.executor import ClientExecutor
+    from repro.systems.faults import FaultInjector
+    from repro.systems.network import ClientSystemProfile, NetworkModel
+    from repro.systems.transport import Transport
 
 
 @dataclass
@@ -52,6 +73,11 @@ class SimulationResult:
         """Whether the target accuracy was reached within the run."""
         return self.rounds_to_target is not None
 
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated wall-clock time (0.0 without a network model)."""
+        return self.history.total_simulated_seconds()
+
 
 class FederatedSimulation:
     """Drives one federated training run for a given algorithm."""
@@ -71,6 +97,10 @@ class FederatedSimulation:
         eval_every: int = 1,
         eval_batch_size: int | None = 512,
         eager_client_init: bool = True,
+        transport: Transport | None = None,
+        network: NetworkModel | None = None,
+        faults: FaultInjector | None = None,
+        executor: ClientExecutor | None = None,
     ):
         if not clients:
             raise ConfigurationError("FederatedSimulation needs at least one client")
@@ -92,10 +122,30 @@ class FederatedSimulation:
         self.eval_every = eval_every
         self.eval_batch_size = eval_batch_size
 
+        from repro.systems.executor import SerialExecutor
+
+        if faults is not None and faults.deadline_s is not None and network is None:
+            raise ConfigurationError(
+                "a round deadline needs a network model to compute client "
+                "round times; pass network= alongside faults.deadline_s"
+            )
+        self.transport = transport
+        self.network = network
+        self.faults = faults
+        self.executor = executor if executor is not None else SerialExecutor()
+
         self._rng_factory = RngFactory(seed)
         self._sampling_rng = self._rng_factory.make("client-sampling")
         self._work_rng = self._rng_factory.make("local-work")
         self._training_rng = self._rng_factory.make("local-training")
+        self._fault_rng = self._rng_factory.make("faults")
+        self._transport_rng = self._rng_factory.make("transport")
+
+        self._profiles: list[ClientSystemProfile] | None = None
+        if network is not None:
+            self._profiles = network.profiles(
+                len(clients), self._rng_factory.make("network")
+            )
 
         self.global_params = model.get_flat_params()
         self.server_state = algorithm.init_server_state(
@@ -109,9 +159,109 @@ class FederatedSimulation:
             LocalProblem(model=self.model, loss=self.loss, dataset=client.dataset)
             for client in clients
         ]
+        # Ship the immutable per-client problems to the executor once; for
+        # process pools this is what reaches the workers at creation, so the
+        # per-round task payloads stay small.
+        self.executor.prime(self._problems, self.algorithm)
         self.history = TrainingHistory(algorithm=algorithm.name)
         self.ledger = CommunicationLedger()
         self._rounds_run = 0
+        self._last_evaluation: Evaluation | None = None
+        self._last_evaluation_round = -1
+
+    # ------------------------------------------------------------------ #
+    # Systems model
+    # ------------------------------------------------------------------ #
+    def _client_round_seconds(self, client_id: int, epochs: int) -> float:
+        """Simulated seconds for one client's full participation this round."""
+        profile = self._profiles[client_id]
+        dim = self.global_params.size
+        download_bytes = self.algorithm.download_floats(dim) * BYTES_PER_FLOAT
+        if self.transport is not None:
+            # The transport compresses each payload vector separately, so
+            # per-vector overheads (norms, scales) are paid once per vector.
+            # An algorithm that overrides upload_floats without
+            # upload_vector_dims falls back to one concatenated vector.
+            vector_dims = self.algorithm.upload_vector_dims(dim)
+            if sum(vector_dims) != self.algorithm.upload_floats(dim):
+                vector_dims = (self.algorithm.upload_floats(dim),)
+            upload_bytes = sum(
+                self.transport.upload_wire_bytes(vec_dim)
+                for vec_dim in vector_dims
+            )
+        else:
+            upload_bytes = self.algorithm.upload_floats(dim) * BYTES_PER_FLOAT
+        return profile.round_seconds(
+            download_bytes=download_bytes,
+            upload_bytes=upload_bytes,
+            num_samples=self.clients[client_id].num_samples,
+            epochs=epochs,
+        )
+
+    def _simulate_systems(
+        self, selected: np.ndarray, epochs_by_client: dict[int, int]
+    ) -> tuple[list[int], list[int], float]:
+        """Apply faults and the time model to the selected set.
+
+        Returns (surviving client ids, dropped client ids, simulated round
+        seconds).  Without a network model round time is 0.0; without a fault
+        injector every selected client survives.
+        """
+        selected_ids = [int(c) for c in selected]
+        if self.faults is None and self.network is None:
+            return selected_ids, [], 0.0
+
+        if self.faults is not None:
+            crashed = self.faults.crashes(len(selected_ids), self._fault_rng)
+        else:
+            crashed = np.zeros(len(selected_ids), dtype=bool)
+
+        if self._profiles is not None:
+            times = np.array(
+                [
+                    self._client_round_seconds(cid, epochs_by_client[cid])
+                    for cid in selected_ids
+                ]
+            )
+        else:
+            times = np.zeros(len(selected_ids))
+
+        if self.faults is not None and self._profiles is not None:
+            straggled = self.faults.stragglers(times)
+        else:
+            straggled = np.zeros(len(selected_ids), dtype=bool)
+
+        dropped_mask = crashed | straggled
+        survivors = [cid for cid, out in zip(selected_ids, dropped_mask) if not out]
+        dropped = [cid for cid, out in zip(selected_ids, dropped_mask) if out]
+
+        if self._profiles is None:
+            round_seconds = 0.0
+        elif straggled.any():
+            # The server holds the round open until its deadline when any
+            # straggler misses it.
+            round_seconds = float(self.faults.deadline_s)
+        elif survivors:
+            round_seconds = float(times[~dropped_mask].max())
+        else:
+            # Everyone crashed: the server waits for the slowest client to
+            # have timed out before abandoning the round.
+            round_seconds = float(times.max())
+        return survivors, dropped, round_seconds
+
+    def _task_seed(self, round_index: int, client_id: int) -> int:
+        """Deterministic per-(round, client) seed for isolated executors."""
+        label = f"local-training/round-{round_index}/client-{client_id}"
+        return int(self._rng_factory.make(label).integers(0, 2**62))
+
+    def _merge_client(self, client_index: int, updated: ClientState) -> None:
+        """Fold a worker-process copy of a client back into the population."""
+        original = self.clients[client_index]
+        if updated is original:
+            return
+        original.variables = updated.variables
+        original.rounds_participated = updated.rounds_participated
+        original.local_work_done = updated.local_work_done
 
     # ------------------------------------------------------------------ #
     # One round
@@ -125,39 +275,82 @@ class FederatedSimulation:
             raise SimulationError(f"round {round_index}: sampler selected no clients")
 
         dim = self.global_params.size
-        messages: list[ClientMessage] = []
-        epochs_used: list[int] = []
-        for client_id in selected:
-            client = self.clients[int(client_id)]
-            epochs = self.local_work.epochs(int(client_id), round_index, self._work_rng)
+        epochs_by_client = {
+            int(client_id): self.local_work.epochs(
+                int(client_id), round_index, self._work_rng
+            )
+            for client_id in selected
+        }
+        survivors, dropped, round_seconds = self._simulate_systems(
+            selected, epochs_by_client
+        )
+
+        from repro.systems.executor import LocalUpdateTask
+
+        tasks: list[LocalUpdateTask] = []
+        for client_index in survivors:
             config = LocalTrainingConfig(
-                epochs=epochs,
+                epochs=epochs_by_client[client_index],
                 batch_size=self.batch_size,
                 learning_rate=self.learning_rate,
             )
-            message = self.algorithm.local_update(
-                self._problems[int(client_id)],
-                client,
-                self.global_params,
-                self.server_state,
-                config,
-                round_index=round_index,
-                rng=self._training_rng,
+            rng = (
+                self._task_seed(round_index, client_index)
+                if self.executor.isolated
+                else self._training_rng
             )
-            messages.append(message)
-            epochs_used.append(epochs)
+            tasks.append(
+                LocalUpdateTask(
+                    client_index=client_index,
+                    client=self.clients[client_index],
+                    global_params=self.global_params,
+                    server_state=self.server_state,
+                    config=config,
+                    round_index=round_index,
+                    rng=rng,
+                )
+            )
+        outcomes = self.executor.run_tasks(tasks)
 
-        self.global_params = self.algorithm.aggregate(
-            self.global_params,
-            self.server_state,
-            messages,
-            num_clients,
-            round_index,
-        )
+        messages: list[ClientMessage] = []
+        epochs_used: list[int] = []
+        for client_index, outcome in zip(survivors, outcomes):
+            self._merge_client(client_index, outcome.client)
+            messages.append(outcome.message)
+            epochs_used.append(outcome.message.local_epochs)
 
         uploads = sum(msg.upload_floats for msg in messages)
-        downloads = len(messages) * self.algorithm.download_floats(dim)
-        self.ledger.record_round(uploads, downloads)
+        # Every selected client downloaded the model, including those that
+        # later crashed or straggled; only survivors upload.
+        downloads = int(selected.size) * self.algorithm.download_floats(dim)
+        download_wire_bytes = downloads * BYTES_PER_FLOAT
+        if self.transport is not None:
+            upload_wire_bytes = 0
+            compressed: list[ClientMessage] = []
+            for message in messages:
+                message, wire = self.transport.compress_message(
+                    message, self._transport_rng
+                )
+                compressed.append(message)
+                upload_wire_bytes += wire
+            messages = compressed
+        else:
+            upload_wire_bytes = uploads * BYTES_PER_FLOAT
+
+        if messages:
+            self.global_params = self.algorithm.aggregate(
+                self.global_params,
+                self.server_state,
+                messages,
+                num_clients,
+                round_index,
+            )
+        # With no survivor the round is abandoned: the global model is
+        # unchanged, but the communication and time costs were still paid.
+
+        self.ledger.record_round(
+            uploads, downloads, upload_wire_bytes, download_wire_bytes
+        )
         self._rounds_run += 1
 
         evaluate_now = (
@@ -172,16 +365,28 @@ class FederatedSimulation:
                 self.test_dataset,
                 batch_size=self.eval_batch_size,
             )
+            self._last_evaluation = evaluation
+            self._last_evaluation_round = self._rounds_run
 
         record = RoundRecord(
             round_index=self._rounds_run,
             test_accuracy=None if evaluation is None else evaluation.accuracy,
             test_loss=None if evaluation is None else evaluation.loss,
-            train_loss=float(np.mean([msg.train_loss for msg in messages])),
-            num_selected=len(messages),
+            train_loss=(
+                float(np.mean([msg.train_loss for msg in messages]))
+                if messages
+                else float("nan")
+            ),
+            num_selected=int(selected.size),
             upload_floats=uploads,
             download_floats=downloads,
-            mean_local_epochs=float(np.mean(epochs_used)),
+            mean_local_epochs=(
+                float(np.mean(epochs_used)) if epochs_used else 0.0
+            ),
+            upload_wire_bytes=upload_wire_bytes,
+            download_wire_bytes=download_wire_bytes,
+            simulated_seconds=round_seconds,
+            dropped_clients=tuple(dropped),
         )
         self.history.append(record)
         return record
@@ -203,25 +408,33 @@ class FederatedSimulation:
         """
         if num_rounds <= 0:
             raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
-        for _ in range(num_rounds):
-            record = self.run_round()
-            reached = (
-                target_accuracy is not None
-                and record.test_accuracy is not None
-                and record.test_accuracy >= target_accuracy
-            )
-            if reached and stop_at_target:
-                break
+        try:
+            for _ in range(num_rounds):
+                record = self.run_round()
+                reached = (
+                    target_accuracy is not None
+                    and record.test_accuracy is not None
+                    and record.test_accuracy >= target_accuracy
+                )
+                if reached and stop_at_target:
+                    break
+        finally:
+            self.executor.close()
 
         final_evaluation = None
         if len(self.test_dataset) > 0:
-            final_evaluation = evaluate_model(
-                self.model,
-                self.loss,
-                self.global_params,
-                self.test_dataset,
-                batch_size=self.eval_batch_size,
-            )
+            if self._last_evaluation_round == self._rounds_run:
+                # The last executed round already evaluated these exact
+                # parameters; reuse it instead of re-running evaluate_model.
+                final_evaluation = self._last_evaluation
+            else:
+                final_evaluation = evaluate_model(
+                    self.model,
+                    self.loss,
+                    self.global_params,
+                    self.test_dataset,
+                    batch_size=self.eval_batch_size,
+                )
         rounds_to_target = (
             None
             if target_accuracy is None
@@ -240,5 +453,7 @@ class FederatedSimulation:
                 "num_clients": len(self.clients),
                 "batch_size": self.batch_size,
                 "learning_rate": self.learning_rate,
+                "executor": type(self.executor).__name__,
+                "codec": None if self.transport is None else self.transport.codec.name,
             },
         )

@@ -10,16 +10,37 @@ import numpy as np
 
 @dataclass
 class RoundRecord:
-    """Everything recorded about one communication round."""
+    """Everything recorded about one communication round.
+
+    The systems-layer fields default to the idealised setting: wire bytes of
+    zero mean "no transport layer recorded them" (the engine always fills
+    them in), zero simulated seconds mean no network model was configured,
+    and an empty ``dropped_clients`` tuple means every selected client
+    reported back.
+    """
 
     round_index: int
     test_accuracy: float | None
     test_loss: float | None
     train_loss: float
-    num_selected: int
+    num_selected: int  # |S_t|: clients sampled, whether or not they survived
     upload_floats: int
     download_floats: int
     mean_local_epochs: float
+    upload_wire_bytes: int = 0
+    download_wire_bytes: int = 0
+    simulated_seconds: float = 0.0
+    dropped_clients: tuple[int, ...] = ()
+
+    @property
+    def num_dropped(self) -> int:
+        """Selected clients that crashed or missed the round deadline."""
+        return len(self.dropped_clients)
+
+    @property
+    def num_aggregated(self) -> int:
+        """Clients whose uploads reached aggregation (selected minus dropped)."""
+        return self.num_selected - self.num_dropped
 
 
 @dataclass
@@ -65,6 +86,13 @@ class TrainingHistory:
         """Mean selected-client training losses per round."""
         return np.array([rec.train_loss for rec in self.records], dtype=np.float64)
 
+    @property
+    def simulated_seconds(self) -> np.ndarray:
+        """Simulated wall-clock duration of each round."""
+        return np.array(
+            [rec.simulated_seconds for rec in self.records], dtype=np.float64
+        )
+
     # ------------------------------------------------------------------ #
     # Summary queries
     # ------------------------------------------------------------------ #
@@ -94,6 +122,18 @@ class TrainingHistory:
     def total_upload_floats(self) -> int:
         """Total floats uploaded across all recorded rounds."""
         return int(sum(rec.upload_floats for rec in self.records))
+
+    def total_upload_wire_bytes(self) -> int:
+        """Total post-compression uploaded bytes across all recorded rounds."""
+        return int(sum(rec.upload_wire_bytes for rec in self.records))
+
+    def total_simulated_seconds(self) -> float:
+        """Total simulated wall-clock time across all recorded rounds."""
+        return float(sum(rec.simulated_seconds for rec in self.records))
+
+    def total_dropped(self) -> int:
+        """Total client drops (crashes + stragglers) across all rounds."""
+        return int(sum(rec.num_dropped for rec in self.records))
 
     def accuracy_series(self) -> list[tuple[int, float]]:
         """(round, accuracy) pairs for rounds where evaluation ran."""

@@ -41,19 +41,41 @@ class ClientMessage:
 
 @dataclass
 class CommunicationLedger:
-    """Running totals of communication, in floats and rounds."""
+    """Running totals of communication, in floats, wire bytes, and rounds.
+
+    *Float* totals count the logical scalars exchanged (the paper's unit of
+    comparison); *wire* totals count the bytes actually transmitted after
+    the transport layer's codec (see :mod:`repro.systems.transport`).  With
+    no transport configured the wire totals equal the raw float32 bytes.
+    """
 
     upload_floats: int = 0
     download_floats: int = 0
     rounds: int = 0
     per_round_upload: list[int] = field(default_factory=list)
+    upload_wire_bytes: int = 0
+    download_wire_bytes: int = 0
+    per_round_upload_wire_bytes: list[int] = field(default_factory=list)
 
-    def record_round(self, uploads: int, downloads: int) -> None:
-        """Add one round's totals."""
+    def record_round(
+        self,
+        uploads: int,
+        downloads: int,
+        upload_wire_bytes: int | None = None,
+        download_wire_bytes: int | None = None,
+    ) -> None:
+        """Add one round's totals; wire bytes default to raw float32 sizes."""
+        if upload_wire_bytes is None:
+            upload_wire_bytes = int(uploads) * BYTES_PER_FLOAT
+        if download_wire_bytes is None:
+            download_wire_bytes = int(downloads) * BYTES_PER_FLOAT
         self.upload_floats += int(uploads)
         self.download_floats += int(downloads)
         self.rounds += 1
         self.per_round_upload.append(int(uploads))
+        self.upload_wire_bytes += int(upload_wire_bytes)
+        self.download_wire_bytes += int(download_wire_bytes)
+        self.per_round_upload_wire_bytes.append(int(upload_wire_bytes))
 
     @property
     def total_floats(self) -> int:
@@ -74,3 +96,15 @@ class CommunicationLedger:
     def total_bytes(self) -> int:
         """Total bytes on the wire in both directions."""
         return self.total_floats * BYTES_PER_FLOAT
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Post-compression bytes actually transmitted in both directions."""
+        return self.upload_wire_bytes + self.download_wire_bytes
+
+    @property
+    def upload_compression_ratio(self) -> float:
+        """Raw uploaded bytes divided by wire bytes (1.0 = no compression)."""
+        if self.upload_wire_bytes == 0:
+            return float("nan")
+        return self.upload_bytes / self.upload_wire_bytes

@@ -3,13 +3,21 @@
 The key comparison in the paper: per selected client per round, FedAvg /
 FedProx / FedADMM upload exactly ``d`` floats while SCAFFOLD uploads ``2d``.
 Combined with rounds-to-target this yields total bytes to a target accuracy.
+With a transport codec (see :mod:`repro.systems.compression`) the same
+quantities can be costed post-compression, i.e. as bytes actually on the
+wire.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.algorithms.base import FederatedAlgorithm
 from repro.exceptions import ConfigurationError
 from repro.federated.messages import BYTES_PER_FLOAT
+
+if TYPE_CHECKING:  # runtime import would be fine; kept lazy for symmetry
+    from repro.systems.compression import Codec
 
 
 def per_round_upload_floats(
@@ -41,3 +49,21 @@ def communication_to_target_bytes(
         return None
     floats = total_upload_floats(algorithm, dim, num_selected, rounds_to_target)
     return floats * BYTES_PER_FLOAT
+
+
+def compressed_upload_bytes(
+    codec: "Codec", dim: int, num_selected: int, num_rounds: int, vectors_per_upload: int = 1
+) -> int:
+    """Post-compression uploaded bytes over a run.
+
+    ``vectors_per_upload`` is the number of d-vectors each client ships per
+    round (1 for FedAvg/FedProx/FedADMM, 2 for SCAFFOLD); codecs with
+    per-vector overhead (norms, scales) pay it once per vector.
+    """
+    if dim <= 0 or num_selected <= 0 or vectors_per_upload <= 0:
+        raise ConfigurationError(
+            "dim, num_selected, and vectors_per_upload must be positive"
+        )
+    if num_rounds < 0:
+        raise ConfigurationError("num_rounds must be non-negative")
+    return codec.wire_bytes(dim) * vectors_per_upload * num_selected * num_rounds

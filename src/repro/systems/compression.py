@@ -1,0 +1,272 @@
+"""Update-compression codecs for the transport layer.
+
+A :class:`Codec` maps a flat float vector to a compact wire representation
+and back.  The decode side is lossy for every codec except
+:class:`IdentityCodec`; the engine aggregates the *decoded* vectors, so
+compression error feeds into convergence exactly as it would in a real
+deployment.  ``wire_bytes(dim)`` gives the exact on-the-wire size of an
+encoded d-vector, used both by the :class:`~repro.federated.messages.CommunicationLedger`
+and by the network time model (straggler prediction needs sizes before the
+update is computed).
+
+The codec family mirrors the standard gradient-compression literature:
+float16 casting, top-k sparsification (Aji & Heafield, 2017), QSGD
+stochastic quantisation (Alistarh et al., 2017), and signSGD with a
+magnitude scale (Bernstein et al., 2018).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.federated.messages import BYTES_PER_FLOAT
+from repro.utils.rng import SeedLike, as_rng
+
+#: Bytes used for one scalar side-channel value (norms, scales).
+_SCALAR_BYTES = 4
+
+#: Bytes used for one coordinate index in sparse encodings (uint32).
+_INDEX_BYTES = 4
+
+
+@dataclass
+class EncodedVector:
+    """A codec's wire representation of one flat vector."""
+
+    codec: str
+    dim: int
+    wire_bytes: int
+    data: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class Codec:
+    """Interface: encode/decode one flat vector and cost its wire size."""
+
+    name = "base"
+
+    def encode(self, vector: np.ndarray, rng: SeedLike = None) -> EncodedVector:
+        """Compress a flat vector into its wire representation."""
+        raise NotImplementedError
+
+    def decode(self, encoded: EncodedVector) -> np.ndarray:
+        """Reconstruct a (possibly lossy) flat float64 vector."""
+        raise NotImplementedError
+
+    def wire_bytes(self, dim: int) -> int:
+        """Exact bytes on the wire for an encoded d-dimensional vector."""
+        raise NotImplementedError
+
+    def roundtrip(self, vector: np.ndarray, rng: SeedLike = None) -> tuple[np.ndarray, int]:
+        """Encode then decode; returns (reconstruction, wire bytes)."""
+        encoded = self.encode(np.asarray(vector, dtype=np.float64), rng=rng)
+        return self.decode(encoded), encoded.wire_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdentityCodec(Codec):
+    """No compression: float32 transport, exact float64 reconstruction."""
+
+    name = "identity"
+
+    def encode(self, vector: np.ndarray, rng: SeedLike = None) -> EncodedVector:
+        values = np.asarray(vector, dtype=np.float64)
+        return EncodedVector(
+            codec=self.name,
+            dim=values.size,
+            wire_bytes=self.wire_bytes(values.size),
+            data={"values": values.copy()},
+        )
+
+    def decode(self, encoded: EncodedVector) -> np.ndarray:
+        return np.asarray(encoded.data["values"], dtype=np.float64).copy()
+
+    def wire_bytes(self, dim: int) -> int:
+        return dim * BYTES_PER_FLOAT
+
+
+class Float16Codec(Codec):
+    """Half-precision casting: 2 bytes per coordinate, small rounding error."""
+
+    name = "float16"
+
+    def encode(self, vector: np.ndarray, rng: SeedLike = None) -> EncodedVector:
+        values = np.asarray(vector, dtype=np.float64)
+        return EncodedVector(
+            codec=self.name,
+            dim=values.size,
+            wire_bytes=self.wire_bytes(values.size),
+            data={"values": values.astype(np.float16)},
+        )
+
+    def decode(self, encoded: EncodedVector) -> np.ndarray:
+        return np.asarray(encoded.data["values"], dtype=np.float64)
+
+    def wire_bytes(self, dim: int) -> int:
+        return dim * 2
+
+
+class TopKCodec(Codec):
+    """Keep only the ``k`` largest-magnitude coordinates (value + index pairs).
+
+    ``fraction`` selects ``k = max(1, round(fraction * d))``; alternatively a
+    fixed ``k`` may be given.  The reconstruction is zero off-support, which
+    is why delta-style uploads (FedADMM's Δ_i) tolerate it far better than
+    raw-model uploads.
+    """
+
+    name = "topk"
+
+    def __init__(self, fraction: float | None = 0.1, k: int | None = None):
+        if k is not None:
+            if k <= 0:
+                raise ConfigurationError(f"k must be positive, got {k}")
+            self.k = int(k)
+            self.fraction = None
+        else:
+            if fraction is None or not 0 < fraction <= 1:
+                raise ConfigurationError(
+                    f"fraction must lie in (0, 1], got {fraction!r}"
+                )
+            self.fraction = float(fraction)
+            self.k = None
+
+    def num_kept(self, dim: int) -> int:
+        """Number of coordinates kept for a d-dimensional vector."""
+        if self.k is not None:
+            return min(self.k, dim)
+        return max(1, int(round(self.fraction * dim)))
+
+    def encode(self, vector: np.ndarray, rng: SeedLike = None) -> EncodedVector:
+        values = np.asarray(vector, dtype=np.float64)
+        kept = self.num_kept(values.size)
+        if kept >= values.size:
+            indices = np.arange(values.size, dtype=np.uint32)
+        else:
+            indices = np.argpartition(np.abs(values), -kept)[-kept:].astype(np.uint32)
+        indices = np.sort(indices)
+        return EncodedVector(
+            codec=self.name,
+            dim=values.size,
+            wire_bytes=self.wire_bytes(values.size),
+            data={
+                "indices": indices,
+                "values": values[indices].astype(np.float32),
+            },
+        )
+
+    def decode(self, encoded: EncodedVector) -> np.ndarray:
+        out = np.zeros(encoded.dim, dtype=np.float64)
+        out[encoded.data["indices"].astype(np.int64)] = encoded.data["values"]
+        return out
+
+    def wire_bytes(self, dim: int) -> int:
+        kept = self.num_kept(dim)
+        return kept * (BYTES_PER_FLOAT + _INDEX_BYTES)
+
+
+class QSGDCodec(Codec):
+    """QSGD stochastic quantisation to ``levels`` uniform levels per sign.
+
+    Each coordinate is mapped to ``sign(v_i) * l_i / levels * ||v||_2`` where
+    ``l_i`` is an integer level chosen by unbiased stochastic rounding.  The
+    wire cost is ``ceil(log2(levels + 1)) + 1`` bits per coordinate (level +
+    sign) plus one float for the norm.
+    """
+
+    name = "qsgd"
+
+    def __init__(self, levels: int = 16):
+        if levels <= 0:
+            raise ConfigurationError(f"levels must be positive, got {levels}")
+        self.levels = int(levels)
+
+    @property
+    def bits_per_coordinate(self) -> int:
+        """Bits per coordinate: the level index plus the sign bit."""
+        return int(math.ceil(math.log2(self.levels + 1))) + 1
+
+    def encode(self, vector: np.ndarray, rng: SeedLike = None) -> EncodedVector:
+        rng = as_rng(rng)
+        values = np.asarray(vector, dtype=np.float64)
+        norm = float(np.linalg.norm(values))
+        if norm == 0.0:
+            levels = np.zeros(values.size, dtype=np.int32)
+            signs = np.ones(values.size, dtype=np.int8)
+        else:
+            scaled = np.abs(values) / norm * self.levels
+            floor = np.floor(scaled)
+            levels = (floor + (rng.random(values.size) < (scaled - floor))).astype(
+                np.int32
+            )
+            signs = np.where(values < 0, -1, 1).astype(np.int8)
+        return EncodedVector(
+            codec=self.name,
+            dim=values.size,
+            wire_bytes=self.wire_bytes(values.size),
+            data={
+                "levels": levels,
+                "signs": signs,
+                "norm": np.array([norm], dtype=np.float64),
+            },
+        )
+
+    def decode(self, encoded: EncodedVector) -> np.ndarray:
+        norm = float(encoded.data["norm"][0])
+        levels = encoded.data["levels"].astype(np.float64)
+        signs = encoded.data["signs"].astype(np.float64)
+        return signs * levels / self.levels * norm
+
+    def wire_bytes(self, dim: int) -> int:
+        return int(math.ceil(dim * self.bits_per_coordinate / 8)) + _SCALAR_BYTES
+
+
+class SignSGDCodec(Codec):
+    """One bit per coordinate plus a mean-magnitude scale (scaled signSGD)."""
+
+    name = "signsgd"
+
+    def encode(self, vector: np.ndarray, rng: SeedLike = None) -> EncodedVector:
+        values = np.asarray(vector, dtype=np.float64)
+        scale = float(np.mean(np.abs(values))) if values.size else 0.0
+        return EncodedVector(
+            codec=self.name,
+            dim=values.size,
+            wire_bytes=self.wire_bytes(values.size),
+            data={
+                "signs": np.where(values < 0, -1, 1).astype(np.int8),
+                "scale": np.array([scale], dtype=np.float64),
+            },
+        )
+
+    def decode(self, encoded: EncodedVector) -> np.ndarray:
+        scale = float(encoded.data["scale"][0])
+        return encoded.data["signs"].astype(np.float64) * scale
+
+    def wire_bytes(self, dim: int) -> int:
+        return int(math.ceil(dim / 8)) + _SCALAR_BYTES
+
+
+CODEC_REGISTRY: dict[str, type[Codec]] = {
+    IdentityCodec.name: IdentityCodec,
+    Float16Codec.name: Float16Codec,
+    TopKCodec.name: TopKCodec,
+    QSGDCodec.name: QSGDCodec,
+    SignSGDCodec.name: SignSGDCodec,
+}
+
+
+def build_codec(name: str, **kwargs) -> Codec:
+    """Instantiate a codec by registry name."""
+    try:
+        codec_cls = CODEC_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown codec {name!r}; available: {sorted(CODEC_REGISTRY)}"
+        ) from None
+    return codec_cls(**kwargs)

@@ -1,0 +1,263 @@
+"""Client executors: how a round's local updates actually run.
+
+The engine *primes* an executor once with the immutable per-client state
+(the :class:`~repro.federated.local_problem.LocalProblem` list and the
+algorithm), then per round packages each surviving client's update into a
+slim :class:`LocalUpdateTask`; the executor runs the batch and returns one
+:class:`LocalUpdateOutcome` per task, in task order.
+
+* :class:`SerialExecutor` — the seed behaviour: tasks run in order in the
+  calling thread, sharing the engine's model template and training RNG, so
+  results are bit-identical to the pre-systems engine.
+* :class:`ThreadPoolClientExecutor` — tasks run concurrently in threads.
+  Each task deep-copies the model template (the NumPy substrate mutates
+  parameter buffers in place, so sharing one template across threads would
+  race) and draws from its own per-task seed.
+* :class:`ProcessPoolClientExecutor` — tasks run in worker processes,
+  sidestepping the GIL for compute-bound local training.  The primed
+  problems and algorithm are shipped to each worker once at pool creation
+  (per-task traffic is only the global parameters, server state, config,
+  and an integer seed — not the datasets and model templates, which would
+  otherwise dominate serialization cost).  Client state mutated in the
+  worker is carried back in the outcome and merged by the engine.
+
+Isolated executors (``isolated = True``) receive an integer seed per task
+instead of a shared generator, so their results are deterministic under a
+fixed engine seed *regardless of scheduling order* — thread and process
+runs of the same task list produce identical models.
+
+An executor instance belongs to one simulation at a time: priming replaces
+any previously primed state.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.federated.client import ClientState
+from repro.federated.local_problem import LocalProblem
+from repro.federated.messages import ClientMessage
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class LocalUpdateTask:
+    """One client's local update, relative to the executor's primed state.
+
+    ``client_index`` selects the primed :class:`LocalProblem`; everything
+    else is the round-varying state.  Kept slim on purpose: for process
+    pools this is the entire per-task wire payload.
+    """
+
+    client_index: int
+    client: ClientState
+    global_params: np.ndarray
+    server_state: dict[str, np.ndarray]
+    config: Any
+    round_index: int
+    rng: SeedLike
+
+
+@dataclass
+class LocalUpdateOutcome:
+    """A finished local update: the upload plus the (possibly copied) client.
+
+    When the task ran in another process, ``client`` is a pickled copy whose
+    mutated persistent variables the engine must merge back; in-process
+    executors return the original object and the merge is a no-op.
+    """
+
+    message: ClientMessage
+    client: ClientState
+
+
+def execute_task(
+    task: LocalUpdateTask,
+    problem: LocalProblem,
+    algorithm: Any,
+    isolate: bool = False,
+) -> LocalUpdateOutcome:
+    """Run one local update; with ``isolate`` the model template is copied."""
+    if isolate:
+        problem = LocalProblem(
+            model=copy.deepcopy(problem.model),
+            loss=problem.loss,
+            dataset=problem.dataset,
+        )
+    message = algorithm.local_update(
+        problem,
+        task.client,
+        task.global_params,
+        task.server_state,
+        task.config,
+        round_index=task.round_index,
+        rng=as_rng(task.rng),
+    )
+    return LocalUpdateOutcome(message=message, client=task.client)
+
+
+# Worker-process globals, set once per worker by _init_worker so that the
+# problems (datasets + model templates) and algorithm cross the process
+# boundary exactly once per pool instead of once per task.
+_WORKER_PROBLEMS: list[LocalProblem] | None = None
+_WORKER_ALGORITHM: Any = None
+
+
+def _init_worker(problems: list[LocalProblem], algorithm: Any) -> None:
+    global _WORKER_PROBLEMS, _WORKER_ALGORITHM
+    _WORKER_PROBLEMS = problems
+    _WORKER_ALGORITHM = algorithm
+
+
+def _execute_in_worker(task: LocalUpdateTask) -> LocalUpdateOutcome:
+    """Module-level entry point so process pools can pickle the call."""
+    problem = _WORKER_PROBLEMS[task.client_index]
+    if task.client.dataset is None:
+        # The parent stripped the dataset from the IPC payload; the worker
+        # already holds the identical data inside its primed problem.
+        task.client.dataset = problem.dataset
+    # No isolation needed: the primed problems are private to this process
+    # and each worker runs its tasks serially, exactly like SerialExecutor.
+    outcome = execute_task(task, problem, _WORKER_ALGORITHM)
+    outcome.client.dataset = None  # don't ship the dataset back either
+    return outcome
+
+
+class ClientExecutor:
+    """Interface: run a batch of local-update tasks, preserving order."""
+
+    #: Isolated executors receive per-task integer seeds (picklable, order
+    #: independent); non-isolated executors share the engine's training RNG.
+    isolated = False
+
+    def prime(self, problems: list[LocalProblem], algorithm: Any) -> None:
+        """Bind the immutable per-client problems and the algorithm."""
+        self._problems = problems
+        self._algorithm = algorithm
+
+    def _require_primed(self) -> None:
+        if getattr(self, "_problems", None) is None:
+            raise SimulationError("executor used before prime() was called")
+
+    def run_tasks(self, tasks: list[LocalUpdateTask]) -> list[LocalUpdateOutcome]:
+        """Execute every task and return outcomes in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (pools are lazily recreated)."""
+
+
+class SerialExecutor(ClientExecutor):
+    """Run tasks one after another in the calling thread (seed behaviour)."""
+
+    isolated = False
+
+    def run_tasks(self, tasks: list[LocalUpdateTask]) -> list[LocalUpdateOutcome]:
+        self._require_primed()
+        return [
+            execute_task(task, self._problems[task.client_index], self._algorithm)
+            for task in tasks
+        ]
+
+
+class _PoolExecutor(ClientExecutor):
+    """Shared lazy-pool plumbing for thread and process executors."""
+
+    isolated = True
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ConfigurationError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self._pool: Executor | None = None
+
+    def prime(self, problems: list[LocalProblem], algorithm: Any) -> None:
+        self.close()  # a new simulation's state must reach fresh workers
+        super().prime(problems, algorithm)
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def run_tasks(self, tasks: list[LocalUpdateTask]) -> list[LocalUpdateOutcome]:
+        self._require_primed()
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(self._submit_fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ThreadPoolClientExecutor(_PoolExecutor):
+    """Run tasks concurrently in threads (NumPy releases the GIL in kernels)."""
+
+    def _submit_fn(self, task: LocalUpdateTask) -> LocalUpdateOutcome:
+        return execute_task(
+            task, self._problems[task.client_index], self._algorithm, isolate=True
+        )
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+class ProcessPoolClientExecutor(_PoolExecutor):
+    """Run tasks in worker processes primed once with the per-client problems."""
+
+    # Bound at class level so the pool pickles only a module-level reference.
+    _submit_fn = staticmethod(_execute_in_worker)
+
+    def run_tasks(self, tasks: list[LocalUpdateTask]) -> list[LocalUpdateOutcome]:
+        # The worker already holds every client's dataset (primed at pool
+        # creation); strip it from the per-task payload so round IPC scales
+        # with the model dimension, not the local dataset size.
+        slim = [
+            dataclasses.replace(
+                task, client=dataclasses.replace(task.client, dataset=None)
+            )
+            for task in tasks
+        ]
+        return super().run_tasks(slim)
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_init_worker,
+            initargs=(self._problems, self._algorithm),
+        )
+
+
+EXECUTOR_REGISTRY: dict[str, type[ClientExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadPoolClientExecutor,
+    "process": ProcessPoolClientExecutor,
+}
+
+
+def build_executor(name: str, max_workers: int | None = None) -> ClientExecutor:
+    """Instantiate a client executor by registry name."""
+    try:
+        executor_cls = EXECUTOR_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; available: {sorted(EXECUTOR_REGISTRY)}"
+        ) from None
+    if executor_cls is SerialExecutor:
+        return SerialExecutor()
+    return executor_cls(max_workers=max_workers)

@@ -56,6 +56,28 @@ class TestCliRuns:
         assert code == 0
         assert "rounds_to_target" in capsys.readouterr().out
 
+    def test_systems_small_run(self, capsys):
+        code = main(
+            [
+                "systems",
+                "--dataset",
+                "blobs",
+                "--clients",
+                "8",
+                "--rounds",
+                "2",
+                "--codec",
+                "qsgd",
+                "--dropout",
+                "0.2",
+                "--executor",
+                "thread",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wire_upload_MB" in out and "sim_minutes" in out
+
     def test_fig6_small_run(self, capsys):
         code = main(
             ["fig6", "--dataset", "blobs", "--clients", "8", "--rounds", "4", "--non-iid"]

@@ -93,6 +93,24 @@ class TestSamplers:
     def test_uniform_fraction_minimum_one(self):
         assert UniformFractionSampler(0.01).sample(0, 20, rng=0).size == 1
 
+    def test_uniform_fraction_rounds_to_at_least_one(self):
+        # Any fraction, however tiny, and any population always yield >= 1.
+        for num_clients in (1, 2, 9, 1000):
+            sampler = UniformFractionSampler(1e-6)
+            assert sampler.num_selected(num_clients) == 1
+            assert sampler.sample(0, num_clients, rng=0).size == 1
+        # Rounding (not truncation) governs the count above the floor.
+        assert UniformFractionSampler(0.25).num_selected(10) == 2  # round(2.5)
+        assert UniformFractionSampler(0.26).num_selected(10) == 3
+        assert UniformFractionSampler(1.0).num_selected(7) == 7
+
+    def test_uniform_fraction_deterministic_under_fixed_seed(self):
+        sampler = UniformFractionSampler(0.3)
+        first = sampler.sample(0, 40, rng=123)
+        second = sampler.sample(0, 40, rng=123)
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, sampler.sample(0, 40, rng=124))
+
     def test_uniform_fraction_pmin(self):
         assert UniformFractionSampler(0.1).min_participation_probability(100) == pytest.approx(0.1)
 
@@ -172,6 +190,26 @@ class TestMessagesAndLedger:
         )
         assert message.upload_floats == 15
 
+    def test_upload_floats_empty_payload(self):
+        message = ClientMessage(
+            client_id=0, payload={}, num_samples=3, local_epochs=1, train_loss=0.5
+        )
+        assert message.upload_floats == 0
+
+    def test_upload_floats_multi_entry_mixed_shapes(self):
+        message = ClientMessage(
+            client_id=0,
+            payload={
+                "delta": np.zeros(7),
+                "control": np.zeros((2, 3)),
+                "scalar": np.zeros(1),
+            },
+            num_samples=3,
+            local_epochs=1,
+            train_loss=0.5,
+        )
+        assert message.upload_floats == 7 + 6 + 1
+
     def test_ledger_accumulates(self):
         ledger = CommunicationLedger()
         ledger.record_round(uploads=10, downloads=20)
@@ -182,6 +220,37 @@ class TestMessagesAndLedger:
         assert ledger.total_floats == 40
         assert ledger.total_bytes == 40 * BYTES_PER_FLOAT
         assert ledger.per_round_upload == [10, 5]
+
+    def test_ledger_byte_accounting(self):
+        ledger = CommunicationLedger()
+        ledger.record_round(uploads=100, downloads=50)
+        assert ledger.upload_bytes == 100 * BYTES_PER_FLOAT
+        assert ledger.download_bytes == 50 * BYTES_PER_FLOAT
+        assert ledger.total_bytes == ledger.upload_bytes + ledger.download_bytes
+        # Without an explicit wire size, the wire totals equal raw float32.
+        assert ledger.upload_wire_bytes == ledger.upload_bytes
+        assert ledger.download_wire_bytes == ledger.download_bytes
+        assert ledger.upload_compression_ratio == 1.0
+
+    def test_ledger_wire_bytes_tracked_separately(self):
+        ledger = CommunicationLedger()
+        ledger.record_round(
+            uploads=100, downloads=50, upload_wire_bytes=100, download_wire_bytes=200
+        )
+        ledger.record_round(
+            uploads=100, downloads=50, upload_wire_bytes=60, download_wire_bytes=200
+        )
+        assert ledger.upload_floats == 200
+        assert ledger.upload_wire_bytes == 160
+        assert ledger.download_wire_bytes == 400
+        assert ledger.total_wire_bytes == 560
+        assert ledger.per_round_upload_wire_bytes == [100, 60]
+        assert ledger.upload_compression_ratio == pytest.approx(
+            200 * BYTES_PER_FLOAT / 160
+        )
+
+    def test_ledger_empty_compression_ratio_is_nan(self):
+        assert np.isnan(CommunicationLedger().upload_compression_ratio)
 
 
 class TestHistory:

@@ -28,12 +28,14 @@ from repro.algorithms import (
     ALGORITHM_REGISTRY,
 )
 from repro.federated import (
+    AsyncFederatedSimulation,
     FederatedSimulation,
     SimulationResult,
     UniformFractionSampler,
     FixedEpochs,
     UniformRandomEpochs,
     build_clients,
+    build_staleness,
 )
 from repro.datasets import load_dataset, make_blobs, make_synthetic_images
 from repro.partition import (
@@ -63,8 +65,10 @@ __all__ = [
     "build_algorithm",
     "ALGORITHM_REGISTRY",
     "FederatedSimulation",
+    "AsyncFederatedSimulation",
     "SimulationResult",
     "UniformFractionSampler",
+    "build_staleness",
     "FixedEpochs",
     "UniformRandomEpochs",
     "build_clients",

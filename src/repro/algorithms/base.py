@@ -25,6 +25,7 @@ from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.federated.async_engine import StaleUpdate
     from repro.federated.client import ClientState
     from repro.federated.local_problem import LocalProblem
     from repro.federated.messages import ClientMessage
@@ -60,6 +61,11 @@ class FederatedAlgorithm:
     """Base class for federated optimisation algorithms."""
 
     name = "base"
+
+    #: Whether the asynchronous engine may drive this algorithm.  Methods
+    #: whose server state is inherently lock-step (SCAFFOLD's control
+    #: variate, FedPD's per-round communication coin) opt out.
+    supports_async = True
 
     # ------------------------------------------------------------------ #
     # State initialisation
@@ -101,6 +107,55 @@ class FederatedAlgorithm:
     ) -> np.ndarray:
         """Combine client messages into the next global model."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous aggregation (see repro.federated.async_engine)
+    # ------------------------------------------------------------------ #
+    def message_delta(
+        self, message: ClientMessage, base_params: np.ndarray
+    ) -> np.ndarray:
+        """The additive model update one message encodes.
+
+        The asynchronous server mixes updates trained against *different*
+        model versions, so it needs every upload expressed as a delta
+        against the parameters its client actually downloaded
+        (``base_params``).  Delta-style uploads (FedADMM) pass through;
+        whole-model uploads (FedAvg/FedProx) difference against their base.
+        Algorithms with other payloads override this.
+        """
+        if "delta" in message.payload:
+            return message.payload["delta"]
+        if "params" in message.payload:
+            return message.payload["params"] - base_params
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot derive an async update from "
+            f"payload keys {sorted(message.payload)}; override message_delta"
+        )
+
+    def aggregate_async(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        updates: list[StaleUpdate],
+        num_clients: int,
+        version: int,
+    ) -> np.ndarray:
+        """Mix a buffer of possibly-stale updates into the next model version.
+
+        Default: plain staleness damping (the FedBuff/FedAsync recipe) —
+        each update's delta is scaled by its staleness weight and the
+        buffer mean is applied, so stale contributions genuinely count for
+        less.  With fresh updates and constant weights this reproduces the
+        synchronous uniform aggregate.  FedADMM overrides this with its
+        dual-corrected server update.
+        """
+        if not updates:
+            raise ConfigurationError("aggregate_async needs at least one update")
+        scaled = [
+            update.weight * self.message_delta(update.message, update.base_params)
+            for update in updates
+        ]
+        return global_params + np.stack(scaled).sum(axis=0) / len(updates)
 
     # ------------------------------------------------------------------ #
     # Communication accounting

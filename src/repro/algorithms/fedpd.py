@@ -32,6 +32,10 @@ class FedPD(FederatedAlgorithm):
 
     name = "fedpd"
 
+    #: FedPD flips a per-round communication coin at the server; that
+    #: protocol has no analogue in the buffered asynchronous engine.
+    supports_async = False
+
     def __init__(self, rho: float = 0.01, communication_probability: float = 1.0):
         if rho <= 0:
             raise ConfigurationError(f"rho must be positive, got {rho}")

@@ -62,3 +62,7 @@ class FedSGD(FederatedAlgorithm):
             raise ConfigurationError("FedSGD.aggregate needs at least one message")
         gradients = np.stack([msg.payload["gradient"] for msg in messages])
         return global_params - self.server_learning_rate * gradients.mean(axis=0)
+
+    def message_delta(self, message, base_params: np.ndarray) -> np.ndarray:
+        """One server SGD step along the (possibly stale) client gradient."""
+        return -self.server_learning_rate * message.payload["gradient"]

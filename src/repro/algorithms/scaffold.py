@@ -26,6 +26,11 @@ class Scaffold(FederatedAlgorithm):
 
     name = "scaffold"
 
+    #: The server control variate assumes lock-step rounds: an update's
+    #: control delta is only meaningful against the server state it was
+    #: computed from, so SCAFFOLD opts out of asynchronous aggregation.
+    supports_async = False
+
     def __init__(self, server_step_size: float = 1.0):
         if server_step_size <= 0:
             raise ConfigurationError(

@@ -19,8 +19,11 @@ import argparse
 import sys
 from typing import Any
 
+import numpy as np
+
 from repro.experiments.configs import (
     AlgorithmSpec,
+    async_config,
     default_algorithms,
     fig3_config,
     fig5_config,
@@ -35,6 +38,7 @@ from repro.experiments.configs import (
 )
 from repro.experiments.figures import accuracy_series, series_to_text
 from repro.experiments.runner import (
+    run_async_study,
     run_comparison,
     run_heterogeneity_comparison,
     run_imbalanced_study,
@@ -47,6 +51,7 @@ from repro.experiments.runner import (
     run_systems_study,
     rounds_summary,
 )
+from repro.federated.async_engine import STALENESS_REGISTRY
 from repro.systems import CODEC_REGISTRY, EXECUTOR_REGISTRY, NETWORK_REGISTRY
 from repro.experiments.tables import format_table, table3_text
 from repro.utils.serialization import save_json, to_jsonable
@@ -63,6 +68,7 @@ EXPERIMENTS = {
     "fig8": "Fig. 8    — local initialisation (warm start vs restart)",
     "fig9": "Fig. 9    — dynamic rho schedule",
     "systems": "Systems   — dropout/straggler robustness under the client-systems model",
+    "async": "Async     — sync vs event-driven async time-to-target under stragglers",
 }
 
 
@@ -104,6 +110,21 @@ def _build_parser() -> argparse.ArgumentParser:
                               "producing simulated round durations")
     systems.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
                          help="how local updates run: serial, thread, or process pool")
+    async_group = parser.add_argument_group(
+        "asynchronous engine (see repro.federated.async_engine)")
+    async_group.add_argument("--async", dest="async_mode", action="store_true",
+                             help="use the event-driven asynchronous engine "
+                                  "instead of lock-step synchronous rounds")
+    async_group.add_argument("--buffer-size", type=int, default=None,
+                             help="updates aggregated per model version "
+                                  "(default: the sync per-round cohort size)")
+    async_group.add_argument("--max-concurrency", type=int, default=None,
+                             help="clients training at any simulated instant "
+                                  "(default: twice the buffer size)")
+    async_group.add_argument("--staleness", default=None,
+                             choices=sorted(STALENESS_REGISTRY),
+                             help="staleness weighting for buffered updates "
+                                  "(default: polynomial decay)")
     return parser
 
 
@@ -123,6 +144,14 @@ def _apply_overrides(config, args):
         overrides["network"] = args.network
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.async_mode:
+        overrides["async_mode"] = True
+    if args.buffer_size is not None:
+        overrides["buffer_size"] = args.buffer_size
+    if args.max_concurrency is not None:
+        overrides["max_concurrency"] = args.max_concurrency
+    if args.staleness is not None:
+        overrides["staleness"] = args.staleness
     return config.with_overrides(**overrides)
 
 
@@ -160,6 +189,24 @@ def _series_report(results) -> dict:
     return {"series": series}
 
 
+def _filter_async_compatible(specs: list[AlgorithmSpec], async_mode: bool):
+    """Drop algorithms that opt out of async aggregation when --async is on."""
+    if not async_mode:
+        return specs
+    from repro.algorithms import ALGORITHM_REGISTRY
+
+    kept, skipped = [], []
+    for spec in specs:
+        if ALGORITHM_REGISTRY[spec.name].supports_async:
+            kept.append(spec)
+        else:
+            skipped.append(spec.name)
+    if skipped:
+        print(f"note: --async skips {', '.join(skipped)} "
+              f"(no asynchronous aggregation support)")
+    return kept
+
+
 def run_experiment(name: str, args) -> dict:
     """Run one named experiment and return a JSON-serialisable result summary."""
     admm_rho = args.rho
@@ -170,7 +217,12 @@ def run_experiment(name: str, args) -> dict:
             table3_config(args.dataset, non_iid=args.non_iid, scale=args.scale,
                           num_clients=args.clients), args)
         return _comparison_report(
-            run_comparison(config, default_algorithms(admm_rho=admm_rho))
+            run_comparison(
+                config,
+                _filter_async_compatible(
+                    default_algorithms(admm_rho=admm_rho), args.async_mode
+                ),
+            )
         )
     if name == "table4":
         config = _apply_overrides(
@@ -195,8 +247,13 @@ def run_experiment(name: str, args) -> dict:
         config = _apply_overrides(table6_config(args.dataset, scale=args.scale), args)
         comparison = run_imbalanced_study(
             config,
-            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
-             AlgorithmSpec("fedprox", {"rho": 0.1}), AlgorithmSpec("scaffold", {})],
+            _filter_async_compatible(
+                [AlgorithmSpec("fedadmm", {"rho": admm_rho}),
+                 AlgorithmSpec("fedavg", {}),
+                 AlgorithmSpec("fedprox", {"rho": 0.1}),
+                 AlgorithmSpec("scaffold", {})],
+                args.async_mode,
+            ),
         )
         print(format_table([comparison.partition_stats.as_table_row()]))
         return _comparison_report(comparison)
@@ -219,8 +276,13 @@ def run_experiment(name: str, args) -> dict:
             fig5_config(args.dataset, non_iid=True, scale=args.scale), args)
         outcome = run_heterogeneity_comparison(
             config_iid, config_non_iid,
-            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
-             AlgorithmSpec("fedprox", {"rho": 0.1}), AlgorithmSpec("scaffold", {})],
+            _filter_async_compatible(
+                [AlgorithmSpec("fedadmm", {"rho": admm_rho}),
+                 AlgorithmSpec("fedavg", {}),
+                 AlgorithmSpec("fedprox", {"rho": 0.1}),
+                 AlgorithmSpec("scaffold", {})],
+                args.async_mode,
+            ),
         )
         return {
             setting: _comparison_report(comparison) for setting, comparison in outcome.items()
@@ -240,8 +302,12 @@ def run_experiment(name: str, args) -> dict:
             systems_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
         studies = run_systems_study(
             config,
-            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
-             AlgorithmSpec("scaffold", {})],
+            _filter_async_compatible(
+                [AlgorithmSpec("fedadmm", {"rho": admm_rho}),
+                 AlgorithmSpec("fedavg", {}),
+                 AlgorithmSpec("scaffold", {})],
+                args.async_mode,
+            ),
             dropout_rates=(0.0, config.dropout) if config.dropout > 0 else (0.0,),
         )
         rows = []
@@ -256,6 +322,44 @@ def run_experiment(name: str, args) -> dict:
                         "wire_upload_MB": result.ledger.upload_wire_bytes / 1e6,
                         "sim_minutes": result.simulated_seconds / 60.0,
                         "clients_dropped": result.history.total_dropped(),
+                    }
+                )
+        print(format_table(rows))
+        return {"rows": rows}
+    if name == "async":
+        # The preset sets async_mode; _apply_overrides threads the --async
+        # group flags (buffer size, concurrency, staleness) like any other.
+        config = _apply_overrides(
+            async_config(args.dataset, non_iid=args.non_iid, scale=args.scale),
+            args)
+        studies = run_async_study(
+            config,
+            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
+             AlgorithmSpec("fedprox", {"rho": 0.1})],
+            stop_at_target=True,
+        )
+        rows = []
+        for mode, comparison in studies.items():
+            for label, result in comparison.results.items():
+                seconds = result.history.seconds_to_accuracy(
+                    comparison.config.target_accuracy
+                )
+                rows.append(
+                    {
+                        "mode": mode,
+                        "algorithm": label,
+                        "rounds_to_target": result.rounds_to_target,
+                        "seconds_to_target": (
+                            None if seconds is None else round(seconds, 1)
+                        ),
+                        "final_accuracy": round(result.history.final_accuracy(), 4),
+                        "mean_staleness": round(
+                            float(np.nanmean(result.history.stalenesses))
+                            if len(result.history)
+                            else 0.0,
+                            2,
+                        ),
+                        "max_staleness": result.history.max_staleness(),
                     }
                 )
         print(format_table(rows))

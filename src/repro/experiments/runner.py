@@ -20,6 +20,7 @@ from repro.datasets.base import TrainTestSplit
 from repro.datasets.registry import load_dataset
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import AlgorithmSpec, ExperimentConfig
+from repro.federated.async_engine import AsyncFederatedSimulation
 from repro.federated.client import ClientState, build_clients
 from repro.federated.engine import FederatedSimulation, SimulationResult
 from repro.federated.heterogeneity import FixedEpochs, UniformRandomEpochs
@@ -104,7 +105,7 @@ def build_simulation(
         else None
     )
 
-    return FederatedSimulation(
+    common = dict(
         algorithm=algorithm,
         model=model,
         clients=clients,
@@ -121,6 +122,17 @@ def build_simulation(
         faults=faults,
         executor=build_executor(config.executor, max_workers=config.max_workers),
     )
+    if config.async_mode:
+        # buffer_size=None defers to the engine's default: the synchronous
+        # cohort, so each aggregation consumes the same number of uploads.
+        return AsyncFederatedSimulation(
+            buffer_size=config.buffer_size,
+            max_concurrency=config.max_concurrency,
+            staleness=config.staleness,
+            staleness_exponent=config.staleness_exponent,
+            **common,
+        )
+    return FederatedSimulation(**common)
 
 
 def run_single(
@@ -357,6 +369,38 @@ def run_systems_study(
         )
         results[rate] = run_comparison(run_config, algorithms, stop_at_target=False)
     return results
+
+
+def run_async_study(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    stop_at_target: bool = True,
+) -> dict[str, ComparisonResult]:
+    """Sync vs async time-to-target under the same heterogeneity profile.
+
+    Every algorithm runs twice on identical data, model initialisation, and
+    network model: once with the lock-step synchronous engine and once with
+    the event-driven asynchronous engine (same per-aggregation upload count
+    — the async buffer defaults to the sync cohort size).  The interesting
+    comparison is ``history.seconds_to_accuracy(target)``: under a
+    heavy-tailed straggler profile the async engine stops paying for the
+    slowest client of every round.
+    """
+    if not config.async_mode:
+        raise ConfigurationError(
+            "run_async_study expects a config with async_mode=True "
+            "(see async_config)"
+        )
+    sync_config = config.with_overrides(
+        async_mode=False, name=f"{config.name}-sync"
+    )
+    async_config_ = config.with_overrides(name=f"{config.name}-async")
+    return {
+        "sync": run_comparison(sync_config, algorithms, stop_at_target=stop_at_target),
+        "async": run_comparison(
+            async_config_, algorithms, stop_at_target=stop_at_target
+        ),
+    }
 
 
 def run_imbalanced_study(

@@ -24,6 +24,16 @@ from repro.federated.messages import ClientMessage, CommunicationLedger
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.evaluation import evaluate_model, Evaluation
 from repro.federated.engine import FederatedSimulation, SimulationResult
+from repro.federated.scheduler import AsyncScheduler, ClientCompletion, EventQueue
+from repro.federated.async_engine import (
+    AsyncFederatedSimulation,
+    ConstantStaleness,
+    PolynomialStaleness,
+    STALENESS_REGISTRY,
+    StaleUpdate,
+    StalenessWeighting,
+    build_staleness,
+)
 
 __all__ = [
     "LocalProblem",
@@ -45,4 +55,14 @@ __all__ = [
     "Evaluation",
     "FederatedSimulation",
     "SimulationResult",
+    "AsyncScheduler",
+    "ClientCompletion",
+    "EventQueue",
+    "AsyncFederatedSimulation",
+    "StalenessWeighting",
+    "ConstantStaleness",
+    "PolynomialStaleness",
+    "STALENESS_REGISTRY",
+    "StaleUpdate",
+    "build_staleness",
 ]

@@ -263,6 +263,29 @@ class FederatedSimulation:
         original.rounds_participated = updated.rounds_participated
         original.local_work_done = updated.local_work_done
 
+    def _maybe_evaluate(self) -> Evaluation | None:
+        """Evaluate the global model if the eval cadence says this round should.
+
+        Shared by the synchronous and asynchronous engines; also remembers
+        the evaluation so the end-of-run report can reuse it when the last
+        round already evaluated these exact parameters.
+        """
+        evaluate_now = (
+            self._rounds_run % self.eval_every == 0 or self._rounds_run == 1
+        )
+        if not evaluate_now or len(self.test_dataset) == 0:
+            return None
+        evaluation = evaluate_model(
+            self.model,
+            self.loss,
+            self.global_params,
+            self.test_dataset,
+            batch_size=self.eval_batch_size,
+        )
+        self._last_evaluation = evaluation
+        self._last_evaluation_round = self._rounds_run
+        return evaluation
+
     # ------------------------------------------------------------------ #
     # One round
     # ------------------------------------------------------------------ #
@@ -353,20 +376,7 @@ class FederatedSimulation:
         )
         self._rounds_run += 1
 
-        evaluate_now = (
-            self._rounds_run % self.eval_every == 0 or self._rounds_run == 1
-        )
-        evaluation: Evaluation | None = None
-        if evaluate_now and len(self.test_dataset) > 0:
-            evaluation = evaluate_model(
-                self.model,
-                self.loss,
-                self.global_params,
-                self.test_dataset,
-                batch_size=self.eval_batch_size,
-            )
-            self._last_evaluation = evaluation
-            self._last_evaluation_round = self._rounds_run
+        evaluation = self._maybe_evaluate()
 
         record = RoundRecord(
             round_index=self._rounds_run,
@@ -387,6 +397,9 @@ class FederatedSimulation:
             download_wire_bytes=download_wire_bytes,
             simulated_seconds=round_seconds,
             dropped_clients=tuple(dropped),
+            # Synchronous lock-step: the model version is the round count and
+            # every aggregated update is fresh (staleness zero).
+            model_version=self._rounds_run,
         )
         self.history.append(record)
         return record
@@ -455,5 +468,10 @@ class FederatedSimulation:
                 "learning_rate": self.learning_rate,
                 "executor": type(self.executor).__name__,
                 "codec": None if self.transport is None else self.transport.codec.name,
+                **self._extra_metadata(),
             },
         )
+
+    def _extra_metadata(self) -> dict:
+        """Engine-specific additions to the result metadata."""
+        return {}

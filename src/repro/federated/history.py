@@ -31,6 +31,12 @@ class RoundRecord:
     download_wire_bytes: int = 0
     simulated_seconds: float = 0.0
     dropped_clients: tuple[int, ...] = ()
+    # Asynchronous-engine fields (see repro.federated.async_engine).  In the
+    # synchronous engine the model version equals the round index and every
+    # aggregated update is fresh, so the defaults below mean "synchronous".
+    model_version: int = 0
+    mean_staleness: float = 0.0
+    max_staleness: int = 0
 
     @property
     def num_dropped(self) -> int:
@@ -93,6 +99,13 @@ class TrainingHistory:
             [rec.simulated_seconds for rec in self.records], dtype=np.float64
         )
 
+    @property
+    def stalenesses(self) -> np.ndarray:
+        """Mean update staleness per aggregation (all zeros for sync runs)."""
+        return np.array(
+            [rec.mean_staleness for rec in self.records], dtype=np.float64
+        )
+
     # ------------------------------------------------------------------ #
     # Summary queries
     # ------------------------------------------------------------------ #
@@ -134,6 +147,24 @@ class TrainingHistory:
     def total_dropped(self) -> int:
         """Total client drops (crashes + stragglers) across all rounds."""
         return int(sum(rec.num_dropped for rec in self.records))
+
+    def max_staleness(self) -> int:
+        """Largest staleness any aggregated update carried (0 for sync runs)."""
+        return int(max((rec.max_staleness for rec in self.records), default=0))
+
+    def seconds_to_accuracy(self, target: float) -> float | None:
+        """Cumulative simulated seconds at which ``target`` was first reached.
+
+        The async engine trades per-round freshness for wall-clock speed, so
+        time-to-target (not rounds-to-target) is its headline metric.
+        Returns ``None`` if the target was never reached.
+        """
+        elapsed = 0.0
+        for record in self.records:
+            elapsed += record.simulated_seconds
+            if record.test_accuracy is not None and record.test_accuracy >= target:
+                return elapsed
+        return None
 
     def accuracy_series(self) -> list[tuple[int, float]]:
         """(round, accuracy) pairs for rounds where evaluation ran."""

@@ -34,13 +34,17 @@ class FaultInjector:
     deadline_s: float | None = None
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.dropout_rate < 1.0:
+        # Both extremes are legal: dropout_rate 1.0 crashes every client
+        # every round and deadline_s 0.0 cuts every client with a positive
+        # round time — the engine handles the resulting fully-abandoned
+        # rounds (global model unchanged, download costs still charged).
+        if not 0.0 <= self.dropout_rate <= 1.0:
             raise ConfigurationError(
-                f"dropout_rate must lie in [0, 1), got {self.dropout_rate}"
+                f"dropout_rate must lie in [0, 1], got {self.dropout_rate}"
             )
-        if self.deadline_s is not None and self.deadline_s <= 0:
+        if self.deadline_s is not None and self.deadline_s < 0:
             raise ConfigurationError(
-                f"deadline_s must be positive, got {self.deadline_s}"
+                f"deadline_s must be non-negative, got {self.deadline_s}"
             )
 
     def crashes(self, num_selected: int, rng: SeedLike = None) -> np.ndarray:

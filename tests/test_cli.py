@@ -86,6 +86,39 @@ class TestCliRuns:
         out = capsys.readouterr().out
         assert "eta=1.0" in out
 
+    def test_async_experiment_small_run(self, capsys):
+        code = main(
+            [
+                "async",
+                "--dataset",
+                "blobs",
+                "--clients",
+                "8",
+                "--rounds",
+                "3",
+                "--buffer-size",
+                "2",
+                "--max-concurrency",
+                "4",
+                "--staleness",
+                "constant",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seconds_to_target" in out
+        assert "sync" in out and "async" in out
+
+    def test_async_flag_on_systems_skips_scaffold(self, capsys):
+        code = main(
+            ["systems", "--dataset", "blobs", "--clients", "8", "--rounds", "2",
+             "--async"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skips scaffold" in out
+        assert "fedadmm" in out
+
     def test_run_experiment_rejects_unknown_name(self):
         class Args:
             dataset = "blobs"

@@ -7,6 +7,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.configs import (
     AlgorithmSpec,
     ExperimentConfig,
+    async_config,
     default_algorithms,
     fig3_config,
     fig5_config,
@@ -23,6 +24,7 @@ from repro.experiments.runner import (
     build_simulation,
     prepare_environment,
     rounds_summary,
+    run_async_study,
     run_comparison,
     run_imbalanced_study,
     run_local_epochs_study,
@@ -189,6 +191,49 @@ class TestStudies:
             TINY_NON_IID, constant_rhos=(0.3,), switch_round=2, switch_values=(0.3, 1.0)
         )
         assert len(results) == 2
+
+    def test_async_config_preset(self):
+        config = async_config("blobs", non_iid=True)
+        assert config.async_mode
+        assert config.network == "lognormal"
+        assert config.staleness == "polynomial"
+
+    def test_build_simulation_dispatches_on_async_mode(self):
+        from repro.federated.async_engine import AsyncFederatedSimulation
+
+        config = TINY.with_overrides(
+            async_mode=True, buffer_size=2, max_concurrency=3
+        )
+        simulation = build_simulation(config, AlgorithmSpec("fedavg", {}))
+        assert isinstance(simulation, AsyncFederatedSimulation)
+        assert simulation.buffer_size == 2
+        assert simulation.max_concurrency == 3
+        sync = build_simulation(TINY, AlgorithmSpec("fedavg", {}))
+        assert not isinstance(sync, AsyncFederatedSimulation)
+
+    def test_async_buffer_defaults_to_sync_cohort(self):
+        config = TINY.with_overrides(async_mode=True)
+        simulation = build_simulation(config, AlgorithmSpec("fedavg", {}))
+        # client_fraction 0.3 of 10 clients -> 3-client cohort.
+        assert simulation.buffer_size == 3
+
+    def test_run_async_study_runs_both_modes(self):
+        config = TINY.with_overrides(
+            async_mode=True, num_rounds=2, buffer_size=2, network="lognormal"
+        )
+        studies = run_async_study(
+            config, [AlgorithmSpec("fedavg", {})], stop_at_target=False
+        )
+        assert set(studies) == {"sync", "async"}
+        sync_result = next(iter(studies["sync"].results.values()))
+        async_result = next(iter(studies["async"].results.values()))
+        assert sync_result.history.max_staleness() == 0
+        assert async_result.metadata["mode"] == "async"
+        assert async_result.simulated_seconds > 0
+
+    def test_run_async_study_rejects_sync_config(self):
+        with pytest.raises(ConfigurationError):
+            run_async_study(TINY, [AlgorithmSpec("fedavg", {})])
 
     def test_imbalanced_study_requires_imbalanced_partition(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,143 @@
+"""Edge cases of the fault path: fully-abandoned rounds and extreme knobs.
+
+A round where *every* sampled client crashes or misses the deadline must:
+
+* leave the global parameters bit-identical (no aggregation happened),
+* still charge the download bytes (the model was shipped before the
+  faults struck),
+* record an abandoned round — all selected clients listed as dropped,
+  ``num_aggregated == 0``, NaN train loss — without dividing by zero.
+
+The extreme knob values are legal configurations: ``dropout_rate=1.0``
+(certain crash) and ``deadline_s=0.0`` (nobody can make an instant
+deadline) both produce an endless sequence of abandoned rounds in the
+synchronous engine rather than an error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import ExperimentConfig
+from repro.federated.engine import FederatedSimulation
+from repro.federated.messages import BYTES_PER_FLOAT
+from repro.systems.faults import FaultInjector
+from repro.systems.network import HomogeneousNetwork
+
+from conftest import make_model
+
+
+def make_sim(clients, test_dataset, faults, *, network=None, algorithm="fedavg"):
+    kwargs = {"rho": 0.3} if algorithm in ("fedadmm", "fedprox") else {}
+    return FederatedSimulation(
+        algorithm=build_algorithm(algorithm, **kwargs),
+        model=make_model(seed=0),
+        clients=clients,
+        test_dataset=test_dataset,
+        batch_size=16,
+        learning_rate=0.1,
+        seed=5,
+        faults=faults,
+        network=network,
+    )
+
+
+class TestFullyAbandonedRounds:
+    @pytest.mark.parametrize("algorithm", ["fedavg", "fedadmm"])
+    def test_certain_dropout_leaves_parameters_unchanged(
+        self, iid_clients, blobs_split, algorithm
+    ):
+        sim = make_sim(
+            iid_clients, blobs_split.test,
+            FaultInjector(dropout_rate=1.0),
+            algorithm=algorithm,
+        )
+        before = np.array(sim.global_params, copy=True)
+        record = sim.run_round()
+        np.testing.assert_array_equal(sim.global_params, before)
+        assert record.num_dropped == record.num_selected > 0
+        assert record.num_aggregated == 0
+        assert np.isnan(record.train_loss)
+
+    def test_abandoned_round_still_charges_downloads(
+        self, iid_clients, blobs_split
+    ):
+        sim = make_sim(
+            iid_clients, blobs_split.test, FaultInjector(dropout_rate=1.0)
+        )
+        record = sim.run_round()
+        dim = sim.global_params.size
+        assert record.download_floats == record.num_selected * dim
+        assert record.download_wire_bytes == record.download_floats * BYTES_PER_FLOAT
+        assert record.upload_floats == 0
+        assert record.upload_wire_bytes == 0
+        assert sim.ledger.download_floats == record.download_floats
+
+    def test_zero_deadline_abandons_every_round(self, iid_clients, blobs_split):
+        sim = make_sim(
+            iid_clients, blobs_split.test,
+            FaultInjector(deadline_s=0.0),
+            network=HomogeneousNetwork(),
+        )
+        before = np.array(sim.global_params, copy=True)
+        result = sim.run(3)
+        np.testing.assert_array_equal(result.final_params, before)
+        assert result.history.total_dropped() == sum(
+            rec.num_selected for rec in result.history.records
+        )
+        # The server closes each round exactly at the (zero) deadline.
+        assert (result.history.simulated_seconds == 0.0).all()
+
+    def test_certain_dropout_full_run_records_all_rounds(
+        self, iid_clients, blobs_split
+    ):
+        sim = make_sim(
+            iid_clients, blobs_split.test, FaultInjector(dropout_rate=1.0)
+        )
+        result = sim.run(4)
+        assert result.rounds_run == 4
+        assert len(result.history) == 4
+        # Evaluation still runs on the (unchanged) model: accuracy is defined.
+        assert result.final_evaluation is not None
+        assert not np.isnan(result.history.final_accuracy())
+
+    def test_client_state_never_advances_when_all_crash(
+        self, iid_clients, blobs_split
+    ):
+        sim = make_sim(
+            iid_clients, blobs_split.test,
+            FaultInjector(dropout_rate=1.0),
+            algorithm="fedadmm",
+        )
+        sim.run(2)
+        for client in sim.clients:
+            assert client.rounds_participated == 0
+
+
+class TestExtremeKnobValidation:
+    def test_dropout_one_is_a_legal_config(self):
+        config = ExperimentConfig(name="edge", dropout=1.0)
+        assert config.dropout == 1.0
+
+    def test_deadline_zero_is_a_legal_config(self):
+        config = ExperimentConfig(name="edge", deadline_s=0.0, network="homogeneous")
+        assert config.deadline_s == 0.0
+
+    def test_out_of_range_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="edge", dropout=1.01)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="edge", dropout=-0.01)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="edge", deadline_s=-0.5)
+
+    def test_injector_extremes_no_division(self):
+        injector = FaultInjector(dropout_rate=1.0, deadline_s=0.0)
+        assert injector.crashes(10, rng=0).all()
+        assert injector.stragglers(np.full(10, 1e-9)).all()
+        # Zero round times meet a zero deadline (> comparison, not >=).
+        assert not injector.stragglers(np.zeros(3)).any()
+        assert injector.active

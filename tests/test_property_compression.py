@@ -1,0 +1,183 @@
+"""Property-based tests for the transport-compression codecs.
+
+Hypothesis drives each codec over arbitrary finite float vectors and checks
+the contracts the engine relies on:
+
+* every codec round-trips to the original shape and float64 dtype, with the
+  advertised wire size,
+* top-k keeps exactly ``k`` coordinates (exactly ``k`` nonzeros when the
+  input has no zeros) and reconstructs zero off-support,
+* QSGD's stochastic rounding is unbiased: averaging decodes over many seeds
+  converges to the original vector,
+* signSGD reconstructions all share one magnitude — the mean absolute
+  value — which never exceeds the largest input magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.systems.compression import (
+    CODEC_REGISTRY,
+    Float16Codec,
+    IdentityCodec,
+    QSGDCodec,
+    SignSGDCodec,
+    TopKCodec,
+    build_codec,
+)
+
+#: Bounded, finite, non-degenerate coordinate values.  float16 overflows at
+#: |x| > 65504, so the shared strategy stays well inside every codec's range.
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=64
+)
+
+vectors = st.lists(finite_floats, min_size=1, max_size=64).map(
+    lambda values: np.array(values, dtype=np.float64)
+)
+
+nonzero_vectors = st.lists(
+    finite_floats.filter(lambda x: abs(x) > 1e-6), min_size=1, max_size=64
+).map(lambda values: np.array(values, dtype=np.float64))
+
+
+def all_codecs():
+    return [
+        IdentityCodec(),
+        Float16Codec(),
+        TopKCodec(fraction=0.25),
+        TopKCodec(k=3),
+        QSGDCodec(levels=16),
+        SignSGDCodec(),
+    ]
+
+
+class TestRoundTripContracts:
+    @settings(max_examples=60, deadline=None)
+    @given(vector=vectors, seed=st.integers(0, 2**31 - 1))
+    def test_shape_dtype_and_wire_bytes(self, vector, seed):
+        for codec in all_codecs():
+            decoded, wire = codec.roundtrip(vector, rng=seed)
+            assert decoded.shape == vector.shape
+            assert decoded.dtype == np.float64
+            assert wire == codec.wire_bytes(vector.size)
+            assert np.isfinite(decoded).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(vector=vectors)
+    def test_identity_is_lossless(self, vector):
+        decoded, _ = IdentityCodec().roundtrip(vector)
+        np.testing.assert_array_equal(decoded, vector)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vector=vectors)
+    def test_float16_error_bounded_by_half_precision(self, vector):
+        decoded, _ = Float16Codec().roundtrip(vector)
+        # Relative error of round-to-nearest float16 is 2^-11 per coordinate.
+        tolerance = np.maximum(np.abs(vector) * 2**-10, 1e-4)
+        assert (np.abs(decoded - vector) <= tolerance).all()
+
+
+class TestTopK:
+    @settings(max_examples=80, deadline=None)
+    @given(vector=nonzero_vectors, k=st.integers(1, 8))
+    def test_exactly_k_nonzeros(self, vector, k):
+        codec = TopKCodec(k=k)
+        decoded, _ = codec.roundtrip(vector)
+        assert np.count_nonzero(decoded) == min(k, vector.size)
+
+    @settings(max_examples=80, deadline=None)
+    @given(vector=vectors, k=st.integers(1, 8))
+    def test_keeps_largest_magnitudes_and_zeroes_rest(self, vector, k):
+        codec = TopKCodec(k=k)
+        encoded = codec.encode(vector)
+        kept = encoded.data["indices"].astype(np.int64)
+        assert kept.size == codec.num_kept(vector.size)
+        decoded = codec.decode(encoded)
+        off_support = np.setdiff1d(np.arange(vector.size), kept)
+        assert (decoded[off_support] == 0.0).all()
+        if off_support.size:
+            # No discarded coordinate strictly dominates a kept one.
+            assert np.abs(vector[off_support]).max() <= (
+                np.abs(vector[kept]).min() + 1e-12
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(vector=vectors, fraction=st.floats(0.01, 1.0))
+    def test_fraction_matches_num_kept(self, vector, fraction):
+        codec = TopKCodec(fraction=fraction)
+        encoded = codec.encode(vector)
+        assert encoded.data["indices"].size == codec.num_kept(vector.size)
+
+
+class TestQSGD:
+    @settings(max_examples=15, deadline=None)
+    @given(vector=st.lists(finite_floats, min_size=2, max_size=8).map(
+        lambda values: np.array(values, dtype=np.float64)
+    ))
+    def test_unbiased_in_expectation_over_seeds(self, vector):
+        codec = QSGDCodec(levels=4)
+        norm = float(np.linalg.norm(vector))
+        if norm == 0.0:
+            return
+        decodes = np.stack(
+            [codec.roundtrip(vector, rng=seed)[0] for seed in range(400)]
+        )
+        mean = decodes.mean(axis=0)
+        # Monte-Carlo tolerance: each coordinate's rounding noise is bounded
+        # by one quantisation step, norm / levels.
+        step = norm / codec.levels
+        assert (np.abs(mean - vector) <= 0.15 * step + 1e-9).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(vector=vectors, seed=st.integers(0, 2**31 - 1))
+    def test_decode_magnitude_bounded_by_norm(self, vector, seed):
+        codec = QSGDCodec(levels=8)
+        decoded, _ = codec.roundtrip(vector, rng=seed)
+        norm = np.linalg.norm(vector)
+        # Each coordinate's level is at most levels + 1 (stochastic rounding
+        # can round |v_i|/norm * levels up once).
+        bound = norm * (codec.levels + 1) / codec.levels
+        assert (np.abs(decoded) <= bound + 1e-9).all()
+
+    def test_zero_vector_stays_zero(self):
+        decoded, _ = QSGDCodec().roundtrip(np.zeros(5), rng=0)
+        np.testing.assert_array_equal(decoded, np.zeros(5))
+
+
+class TestSignSGD:
+    @settings(max_examples=80, deadline=None)
+    @given(vector=vectors)
+    def test_magnitude_is_mean_abs_and_bounded(self, vector):
+        decoded, _ = SignSGDCodec().roundtrip(vector)
+        scale = float(np.mean(np.abs(vector)))
+        np.testing.assert_allclose(np.abs(decoded), scale)
+        # The shared magnitude never exceeds the largest input coordinate.
+        assert scale <= np.abs(vector).max() + 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(vector=nonzero_vectors)
+    def test_signs_preserved(self, vector):
+        decoded, _ = SignSGDCodec().roundtrip(vector)
+        if np.abs(vector).sum() > 0:
+            assert (np.sign(decoded) == np.where(vector < 0, -1.0, 1.0)).all()
+
+
+def test_registry_round_trip_consistency():
+    """Every registered codec honours the shared encode/decode contract."""
+    vector = np.linspace(-2.0, 2.0, 17)
+    for name in CODEC_REGISTRY:
+        codec = build_codec(name)
+        decoded, wire = codec.roundtrip(vector, rng=0)
+        assert decoded.shape == vector.shape
+        assert wire > 0
+        encoded = codec.encode(vector, rng=0)
+        assert encoded.codec == name
+        assert encoded.dim == vector.size
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,111 @@
+"""Bit-identical regression guard for the default synchronous path.
+
+The asynchronous engine was layered on top of the synchronous one
+(shared evaluation helper, new ``RoundRecord`` fields, algorithm-level
+async hooks).  This test pins the *exact* values the seed synchronous
+engine produced before that refactor — parameter hash, every evaluated
+accuracy, every mean train loss — so any PR that perturbs the default
+path (no transport, no network, no faults, serial executor) fails loudly
+rather than drifting silently.
+
+The golden values were generated on the pre-async engine (commit
+``fe497a2``) with the recipe below; they are a property of the seeded
+RNG streams and must never be "refreshed" to make a failing build pass
+without understanding why the stream moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.datasets.synthetic import make_blobs
+from repro.federated.client import build_clients
+from repro.federated.engine import FederatedSimulation
+from repro.nn.models import MLP
+from repro.partition.shard import ShardPartitioner
+
+GOLDEN_PARAMS_SHA256 = (
+    "39c66b4c135cc30eee756747f6254ce1770ad87ec98bc71f14dbdf5a8ca4b28e"
+)
+GOLDEN_ACCURACIES = [0.6125, 0.6625, 0.5375, 0.75, 0.64375, 0.84375]
+GOLDEN_TRAIN_LOSSES = [
+    0.9052403120652177,
+    0.250090993383959,
+    0.09299182963031986,
+    0.7705001961900039,
+    0.40308204715337426,
+    0.022957810578853995,
+]
+GOLDEN_FINAL_ACCURACY = 0.84375
+GOLDEN_FINAL_LOSS = 0.36626625769519
+GOLDEN_UPLOAD_FLOATS = 1656
+GOLDEN_DOWNLOAD_FLOATS = 1656
+
+
+def run_seed_recipe() -> "FederatedSimulation":
+    """The exact run the golden values were generated from."""
+    split = make_blobs(
+        n_train=480, n_test=160, num_classes=4, feature_dim=12,
+        separation=2.5, noise_std=0.8, rng=0,
+    )
+    partition = ShardPartitioner(shards_per_client=2).partition(
+        split.train, num_clients=8, rng=0
+    )
+    clients = build_clients(split.train, partition)
+    model = MLP(
+        input_dim=12, hidden_dims=(16,), num_classes=4,
+        rng=np.random.default_rng(7),
+    )
+    simulation = FederatedSimulation(
+        algorithm=build_algorithm("fedadmm", rho=0.3),
+        model=model,
+        clients=clients,
+        test_dataset=split.test,
+        batch_size=16,
+        learning_rate=0.1,
+        seed=11,
+        eval_every=1,
+    )
+    return simulation.run(6, target_accuracy=None)
+
+
+@pytest.fixture(scope="module")
+def seed_result():
+    return run_seed_recipe()
+
+
+class TestSyncPathBitIdentity:
+    def test_final_parameters_hash(self, seed_result):
+        digest = hashlib.sha256(seed_result.final_params.tobytes()).hexdigest()
+        assert digest == GOLDEN_PARAMS_SHA256
+
+    def test_accuracy_trajectory_exact(self, seed_result):
+        accuracies = [rec.test_accuracy for rec in seed_result.history.records]
+        assert accuracies == GOLDEN_ACCURACIES
+
+    def test_train_loss_trajectory_exact(self, seed_result):
+        losses = [rec.train_loss for rec in seed_result.history.records]
+        assert losses == GOLDEN_TRAIN_LOSSES
+
+    def test_final_evaluation_exact(self, seed_result):
+        assert seed_result.final_evaluation.accuracy == GOLDEN_FINAL_ACCURACY
+        assert seed_result.final_evaluation.loss == GOLDEN_FINAL_LOSS
+
+    def test_communication_totals_exact(self, seed_result):
+        assert seed_result.ledger.upload_floats == GOLDEN_UPLOAD_FLOATS
+        assert seed_result.ledger.download_floats == GOLDEN_DOWNLOAD_FLOATS
+        # No transport configured: wire bytes are the raw float32 bytes.
+        assert seed_result.ledger.upload_wire_bytes == GOLDEN_UPLOAD_FLOATS * 4
+
+    def test_systems_fields_stay_inert(self, seed_result):
+        """Without systems components the new fields keep their defaults."""
+        for record in seed_result.history.records:
+            assert record.simulated_seconds == 0.0
+            assert record.dropped_clients == ()
+            assert record.mean_staleness == 0.0
+            assert record.max_staleness == 0
+            assert record.model_version == record.round_index

@@ -195,9 +195,14 @@ class TestNetworkModel:
 class TestFaultInjector:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            FaultInjector(dropout_rate=1.0)
+            FaultInjector(dropout_rate=1.5)
         with pytest.raises(ConfigurationError):
-            FaultInjector(deadline_s=0.0)
+            FaultInjector(dropout_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(deadline_s=-1.0)
+        # The extremes are legal: certain dropout and an instant deadline.
+        assert FaultInjector(dropout_rate=1.0).crashes(5, rng=0).all()
+        assert FaultInjector(deadline_s=0.0).stragglers(np.array([0.1])).all()
 
     def test_zero_rate_never_crashes(self):
         injector = FaultInjector(dropout_rate=0.0)

@@ -10,9 +10,17 @@ iteration since a federated sweep is far too expensive to repeat many times.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Any, Callable
 
 BENCH_SEED = 0
+
+#: Where the machine-readable per-benchmark summaries land.  One
+#: ``BENCH_<name>.json`` per benchmark invocation, so the perf/metric
+#: trajectory can be tracked across PRs (CI uploads the directory as an
+#: artifact; it is gitignored locally).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Reduced round budget used by the benchmark presets (the library default is
 #: 40; benchmarks trim it so the full suite finishes in a few minutes).
@@ -30,3 +38,31 @@ def print_header(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+def _wall_seconds(benchmark) -> float | None:
+    """Total measured seconds from a pytest-benchmark fixture, if available."""
+    try:
+        return float(benchmark.stats.stats.total)
+    except AttributeError:
+        return None
+
+
+def emit_summary(name: str, payload: dict[str, Any], benchmark=None) -> Path:
+    """Write ``BENCH_<name>.json`` with the benchmark's headline numbers.
+
+    ``payload`` should hold the regenerated metrics a future PR wants to
+    diff (rounds-to-target, accuracies, simulated seconds, ...); the
+    measured wall-clock is attached automatically when the
+    pytest-benchmark fixture is passed.  Returns the written path.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    summary: dict[str, Any] = {"bench": name}
+    if benchmark is not None:
+        wall = _wall_seconds(benchmark)
+        if wall is not None:
+            summary["wall_seconds"] = wall
+    summary.update(payload)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(summary, indent=2, default=str) + "\n")
+    return path

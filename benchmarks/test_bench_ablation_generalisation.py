@@ -7,7 +7,7 @@
 * Warm start vs restart for the local subproblem (cheap companion to Fig. 8).
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import AlgorithmSpec, fig6_config
 from repro.experiments.runner import run_comparison
@@ -43,6 +43,7 @@ def test_ablation_duals_tracking_warmstart(benchmark):
     ]
     print_header("Ablation — duals on/off, warm start on/off, vs FedProx/FedAvg")
     print(format_table(rows))
+    emit_summary("ablation", {"rows": rows}, benchmark)
     assert len(rows) == 5
     for row in rows:
         assert row["best_accuracy"] > 0.2

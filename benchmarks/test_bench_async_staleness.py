@@ -17,10 +17,11 @@ Two claims, both under a heavy-tailed log-normal straggler profile
 """
 
 import numpy as np
-from bench_utils import print_header, run_once
+from bench_utils import emit_summary, print_header, run_once
 
 from repro.experiments.configs import AlgorithmSpec, async_config
-from repro.experiments.runner import run_async_study, run_comparison
+from repro.experiments.runner import run_comparison
+from repro.experiments.studies import run_async_study
 from repro.experiments.tables import format_table
 
 SEEDS = (0, 1, 2)
@@ -148,6 +149,16 @@ def test_async_beats_sync_wall_clock_and_fedadmm_tolerates_staleness(benchmark):
         f"high={mean_staleness['high']:.2f}\n"
         f"accuracy-AUC degradation: fedadmm {degradation['fedadmm']:+.4f} "
         f"vs fedavg {degradation['fedavg']:+.4f}"
+    )
+
+    emit_summary(
+        "async_staleness",
+        {
+            "rows": rows,
+            "mean_staleness": mean_staleness,
+            "auc_degradation": degradation,
+        },
+        benchmark,
     )
 
     # Raising the concurrency cap really did age the buffered updates.

@@ -6,11 +6,11 @@ the sweep uses 20 and 40 clients on the synthetic FMNIST stand-in and prints
 the accuracy-versus-round series per algorithm and population.
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import AlgorithmSpec, fig3_config
 from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import run_scale_sweep
+from repro.experiments.studies import run_scale_sweep
 
 POPULATIONS = [20, 40]
 
@@ -36,6 +36,17 @@ def test_fig3_convergence_paths_vs_population(benchmark):
             for label, result in comparison.results.items()
         }
         print(series_to_text(series, max_points=12))
+    emit_summary(
+        "fig3",
+        {
+            str(population): {
+                label: accuracy_series(result)
+                for label, result in comparison.results.items()
+            }
+            for population, comparison in sweeps.items()
+        },
+        benchmark,
+    )
     assert set(sweeps) == set(POPULATIONS)
     for comparison in sweeps.values():
         for result in comparison.results.values():

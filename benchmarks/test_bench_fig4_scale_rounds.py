@@ -2,10 +2,10 @@
 plus the reduction of FedADMM over the best baseline at each population.
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import AlgorithmSpec, fig3_config
-from repro.experiments.runner import run_scale_sweep
+from repro.experiments.studies import run_scale_sweep
 from repro.experiments.tables import format_table
 
 POPULATIONS = [20, 40]
@@ -46,4 +46,5 @@ def test_fig4_rounds_to_target_vs_population(benchmark):
         )
     print_header("Fig. 4 — rounds to target vs population (IID FMNIST)")
     print(format_table(rows))
+    emit_summary("fig4", {"rows": rows}, benchmark)
     assert len(rows) == len(POPULATIONS) * 4

@@ -5,11 +5,11 @@ compares IID and non-IID runs (m=200, E=10, B=50).  At bench scale the same
 protocol runs with 40 clients on the synthetic FMNIST stand-in.
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import AlgorithmSpec, fig5_config
 from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import run_heterogeneity_comparison
+from repro.experiments.studies import run_heterogeneity_comparison
 from repro.experiments.tables import format_table
 
 
@@ -53,4 +53,5 @@ def test_fig5_data_heterogeneity_adaptability(benchmark):
                 }
             )
     print(format_table(rows))
+    emit_summary("fig5", {"rows": rows}, benchmark)
     assert set(outcome) == {"iid", "non_iid"}

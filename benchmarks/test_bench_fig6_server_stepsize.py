@@ -3,11 +3,11 @@ including a mid-run decrease of eta (the paper adjusts at round 60; the bench
 preset adjusts at the midpoint of its shorter budget).
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import fig6_config
 from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import run_server_stepsize_study
+from repro.experiments.studies import run_server_stepsize_study
 
 ETAS = (0.5, 1.0, 1.5)
 
@@ -29,6 +29,11 @@ def test_fig6_server_step_size_study(benchmark):
             {label: accuracy_series(result) for label, result in results.items()},
             max_points=10,
         )
+    )
+    emit_summary(
+        "fig6",
+        {label: accuracy_series(result) for label, result in results.items()},
+        benchmark,
     )
     assert len(results) == len(ETAS) + 1  # three constants plus the mid-run switch
     for result in results.values():

@@ -6,11 +6,11 @@ reports I is superior across server step sizes; the bench run prints both
 series per eta for comparison.
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import fig8_config
 from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import run_local_init_study
+from repro.experiments.studies import run_local_init_study
 
 ETAS = (1.0, 0.5)
 
@@ -30,6 +30,11 @@ def test_fig8_local_initialisation_study(benchmark):
             {label: accuracy_series(result) for label, result in results.items()},
             max_points=10,
         )
+    )
+    emit_summary(
+        "fig8",
+        {label: accuracy_series(result) for label, result in results.items()},
+        benchmark,
     )
     assert len(results) == 2 * len(ETAS)
     for label, result in results.items():

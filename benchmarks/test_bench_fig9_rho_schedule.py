@@ -6,11 +6,11 @@ run; the bench compares two constant-rho runs with a piecewise schedule that
 switches at the midpoint of the budget.
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import fig9_config
 from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import run_rho_schedule_study
+from repro.experiments.studies import run_rho_schedule_study
 
 CONSTANT_RHOS = (0.1, 0.3)
 SWITCH = (0.1, 0.3)
@@ -36,6 +36,11 @@ def test_fig9_dynamic_rho_schedule(benchmark):
             {label: accuracy_series(result) for label, result in results.items()},
             max_points=10,
         )
+    )
+    emit_summary(
+        "fig9",
+        {label: accuracy_series(result) for label, result in results.items()},
+        benchmark,
     )
     assert len(results) == len(CONSTANT_RHOS) + 1
     for result in results.values():

@@ -7,6 +7,7 @@ parameter packing that every federated round relies on.
 """
 
 import numpy as np
+from bench_utils import emit_summary
 
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import CNN1, MLP
@@ -27,6 +28,7 @@ def test_micro_cnn1_forward_backward(benchmark):
     x = rng.normal(size=(8, 784))
     y = rng.integers(0, 10, size=8)
     grad = benchmark(lambda: _step(model, loss, x, y))
+    emit_summary("nn_micro_cnn1", {"num_params": int(grad.size)}, benchmark)
     assert grad.shape == (1_663_370,)
 
 
@@ -37,6 +39,7 @@ def test_micro_mlp_forward_backward(benchmark):
     x = rng.normal(size=(32, 784))
     y = rng.integers(0, 10, size=32)
     grad = benchmark(lambda: _step(model, loss, x, y))
+    emit_summary("nn_micro_mlp", {"num_params": int(grad.size)}, benchmark)
     assert grad.shape == (model.num_params,)
 
 
@@ -49,4 +52,7 @@ def test_micro_flat_param_roundtrip(benchmark):
         return model.get_flat_params()
 
     result = benchmark(roundtrip)
+    emit_summary(
+        "nn_micro_flat_roundtrip", {"num_params": int(flat.size)}, benchmark
+    )
     assert result.shape == flat.shape

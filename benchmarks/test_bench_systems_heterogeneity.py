@@ -15,7 +15,7 @@ Two effects are measured, averaged over seeds:
 """
 
 import numpy as np
-from bench_utils import print_header, run_once
+from bench_utils import emit_summary, print_header, run_once
 
 from repro.experiments.configs import AlgorithmSpec, systems_config
 from repro.experiments.runner import run_comparison
@@ -97,6 +97,12 @@ def test_systems_heterogeneity_robustness(benchmark):
         f"\nmean accuracy degradation under faults: "
         f"fedadmm {mean_deg['fedadmm']:.4f} vs fedavg {mean_deg['fedavg']:.4f}; "
         f"participations lost: fedadmm {drops['fedadmm']} vs fedavg {drops['fedavg']}"
+    )
+
+    emit_summary(
+        "systems",
+        {"rows": rows, "mean_degradation": mean_deg, "drops": drops},
+        benchmark,
     )
 
     # Variable local work dodges the deadline: FedADMM loses fewer clients.

@@ -6,7 +6,7 @@ large-scale setting (m = 1000 clients, S = 100 active).  FedADMM and FedPD
 scale as O(1/eps) while FedAvg/SCAFFOLD pick up 1/eps^2 terms.
 """
 
-from bench_utils import print_header, run_once
+from bench_utils import emit_summary, print_header, run_once
 
 from repro.core.convergence import COMPLEXITY_TABLE, round_complexity
 from repro.experiments.tables import format_table
@@ -36,6 +36,7 @@ def test_table1_complexity_predictors(benchmark):
     rows = run_once(benchmark, _regenerate)
     print_header("Table I — predicted communication rounds (m=1000, S=100, B=G=3)")
     print(format_table(rows))
+    emit_summary("table1", {"rows": rows}, benchmark)
     # Shape check: FedADMM's prediction degrades strictly slower than
     # FedAvg's and SCAFFOLD's as epsilon shrinks.
     by_eps = {}

@@ -8,7 +8,7 @@ EXPERIMENTS.md.
 """
 
 import pytest
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import default_algorithms, table3_config
 from repro.experiments.runner import run_comparison
@@ -32,6 +32,17 @@ def test_table3_rounds_to_target(benchmark, dataset, non_iid):
     label = f"{dataset} ({'non-IID' if non_iid else 'IID'})"
     print_header(f"Table III — rounds to target accuracy, {label}")
     print(table3_text({label: comparison}))
+    emit_summary(
+        f"table3_{dataset}_{'noniid' if non_iid else 'iid'}",
+        {
+            "rounds_to_target": comparison.rounds_table(),
+            "final_accuracies": {
+                method: result.history.final_accuracy()
+                for method, result in comparison.results.items()
+            },
+        },
+        benchmark,
+    )
     # Every algorithm must at least have produced a full history and the
     # communication accounting must hold (FedADMM == FedAvg upload per round).
     rounds_table = comparison.rounds_table()

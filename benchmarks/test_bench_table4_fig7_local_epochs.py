@@ -6,10 +6,10 @@ strong convexity of the local subproblems (smaller epsilon_i for more work).
 """
 
 import pytest
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import table4_config
-from repro.experiments.runner import run_local_epochs_study
+from repro.experiments.studies import run_local_epochs_study
 from repro.experiments.tables import format_table
 
 EPOCH_COUNTS = (1, 5, 10)
@@ -40,6 +40,9 @@ def test_table4_fig7_local_epochs(benchmark, non_iid):
         f"({'non-IID' if non_iid else 'IID'} MNIST)"
     )
     print(format_table(rows))
+    emit_summary(
+        f"table4_{'noniid' if non_iid else 'iid'}", {"rows": rows}, benchmark
+    )
     assert set(results) == set(EPOCH_COUNTS)
     # Shape check (paper's Table IV): doing more local work helps — the best
     # of the larger-E runs needs no more rounds than the E=1 run (the per-E

@@ -6,11 +6,10 @@ The bench regenerates the FMNIST column at two client populations with
 FedProx at rho in {0.01, 0.1, 1.0} against FedADMM at a single fixed rho.
 """
 
-import pytest
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import table5_config
-from repro.experiments.runner import run_rho_sensitivity_table
+from repro.experiments.studies import run_rho_sensitivity_table
 from repro.experiments.tables import format_table
 
 PROX_RHOS = (0.01, 0.1, 1.0)
@@ -42,6 +41,7 @@ def test_table5_rho_sensitivity(benchmark):
             )
     print_header("Table V — rho sensitivity: FedProx (rho swept) vs FedADMM (rho fixed)")
     print(format_table(rows))
+    emit_summary("table5", {"rows": rows}, benchmark)
     # Shape check: FedProx's performance varies with rho (the paper's point
     # about tuning burden) — the spread of its round counts is non-zero.
     for comparison in table.values():

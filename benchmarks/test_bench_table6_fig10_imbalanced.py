@@ -5,11 +5,11 @@ mean, std); Fig. 10 compares the algorithms' accuracy paths on that
 partition.  Both are regenerated here from the imbalanced preset.
 """
 
-from bench_utils import BENCH_ROUNDS, print_header, run_once
+from bench_utils import BENCH_ROUNDS, emit_summary, print_header, run_once
 
 from repro.experiments.configs import AlgorithmSpec, table6_config
 from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import run_imbalanced_study
+from repro.experiments.studies import run_imbalanced_study
 from repro.experiments.tables import format_table
 
 
@@ -40,6 +40,17 @@ def test_table6_fig10_imbalanced_volumes(benchmark):
             },
             max_points=10,
         )
+    )
+    emit_summary(
+        "table6",
+        {
+            "partition": stats.as_table_row(),
+            "final_accuracies": {
+                label: result.history.final_accuracy()
+                for label, result in comparison.results.items()
+            },
+        },
+        benchmark,
     )
     # The partition must actually be imbalanced: std is a sizable fraction of
     # the mean, mirroring Table VI (std ~ 0.57x mean for FMNIST).

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from repro.experiments.configs import AlgorithmSpec, fig5_config
 from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import run_heterogeneity_comparison, rounds_summary
+from repro.experiments.runner import rounds_summary
+from repro.experiments.studies import run_heterogeneity_comparison
 from repro.experiments.tables import format_table
 
 NUM_ROUNDS = 20

@@ -25,10 +25,10 @@ from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
-    from repro.federated.async_engine import StaleUpdate
     from repro.federated.client import ClientState
     from repro.federated.local_problem import LocalProblem
     from repro.federated.messages import ClientMessage
+    from repro.federated.staleness import StaleUpdate
 
 
 @dataclass
@@ -62,10 +62,27 @@ class FederatedAlgorithm:
 
     name = "base"
 
-    #: Whether the asynchronous engine may drive this algorithm.  Methods
+    #: Whether buffered execution plans (the fully asynchronous and the
+    #: deadline-bounded semi-synchronous plan, see
+    #: :mod:`repro.federated.plans`) may drive this algorithm.  Methods
     #: whose server state is inherently lock-step (SCAFFOLD's control
     #: variate, FedPD's per-round communication coin) opt out.
     supports_async = True
+
+    @classmethod
+    def supports_plan(cls, plan_name: str) -> bool:
+        """Whether the named execution plan may drive this algorithm.
+
+        Buffered plans (``"async"``, ``"semisync"``) mix updates trained
+        against different model versions and therefore require
+        ``supports_async``; the lock-step ``"sync"`` plan works for every
+        algorithm.  This is the single gate consulted by both the plans'
+        bind-time validation and the experiments layer's algorithm
+        filtering; override for finer-grained opt-outs.
+        """
+        if plan_name in ("async", "semisync"):
+            return bool(cls.supports_async)
+        return True
 
     # ------------------------------------------------------------------ #
     # State initialisation
@@ -109,7 +126,7 @@ class FederatedAlgorithm:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
-    # Asynchronous aggregation (see repro.federated.async_engine)
+    # Buffered aggregation (see repro.federated.plans)
     # ------------------------------------------------------------------ #
     def message_delta(
         self, message: ClientMessage, base_params: np.ndarray

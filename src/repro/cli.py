@@ -4,13 +4,14 @@ Usage (after ``pip install -e .``)::
 
     python -m repro.cli --list
     python -m repro.cli table3 --dataset mnist --non-iid --rounds 25
-    python -m repro.cli fig6 --rounds 30 --output fig6.json
-    python -m repro.cli table5 --dataset fmnist --clients 40
+    python -m repro.cli fig6 --rounds 30 --etas 0.5 1.0 --output fig6.json
+    python -m repro.cli semisync --dataset blobs --clients 8 --rounds 3
 
-Each experiment name corresponds to one of the paper's tables/figures (the
-same mapping as the DESIGN.md per-experiment index and the ``benchmarks/``
-suite); the command prints the regenerated rows/series and can optionally
-save the raw numbers as JSON.
+Every subcommand is generated from the declarative
+:data:`~repro.experiments.studies.STUDIES` registry: one subcommand per
+registered study, each carrying the shared flag groups (scale, systems
+layer, execution plan) plus the study's own extra flags.  Adding a study
+to the registry exposes it here with no CLI edits.
 """
 
 from __future__ import annotations
@@ -19,57 +20,73 @@ import argparse
 import sys
 from typing import Any
 
-import numpy as np
-
-from repro.experiments.configs import (
-    AlgorithmSpec,
-    async_config,
-    default_algorithms,
-    fig3_config,
-    fig5_config,
-    fig6_config,
-    fig8_config,
-    fig9_config,
-    systems_config,
-    table3_config,
-    table4_config,
-    table5_config,
-    table6_config,
-)
-from repro.experiments.figures import accuracy_series, series_to_text
-from repro.experiments.runner import (
-    run_async_study,
-    run_comparison,
-    run_heterogeneity_comparison,
-    run_imbalanced_study,
-    run_local_epochs_study,
-    run_local_init_study,
-    run_rho_schedule_study,
-    run_rho_sensitivity_table,
-    run_scale_sweep,
-    run_server_stepsize_study,
-    run_systems_study,
-    rounds_summary,
-)
-from repro.federated.async_engine import STALENESS_REGISTRY
+from repro.experiments.registry import StudyRequest
+from repro.experiments.studies import STUDIES
+from repro.federated.staleness import STALENESS_REGISTRY
 from repro.systems import CODEC_REGISTRY, EXECUTOR_REGISTRY, NETWORK_REGISTRY
-from repro.experiments.tables import format_table, table3_text
 from repro.utils.serialization import save_json, to_jsonable
 
-EXPERIMENTS = {
-    "table1": "Table I   — round-complexity predictors (closed form, no training)",
-    "table3": "Table III — rounds to target accuracy for all algorithms",
-    "table4": "Table IV / Fig. 7 — FedADMM vs local epoch count E",
-    "table5": "Table V   — rho sensitivity of FedProx vs fixed-rho FedADMM",
-    "table6": "Table VI / Fig. 10 — imbalanced data volumes",
-    "fig3": "Fig. 3/4  — scaling the client population",
-    "fig5": "Fig. 5    — IID vs non-IID adaptability",
-    "fig6": "Fig. 6    — server step size study",
-    "fig8": "Fig. 8    — local initialisation (warm start vs restart)",
-    "fig9": "Fig. 9    — dynamic rho schedule",
-    "systems": "Systems   — dropout/straggler robustness under the client-systems model",
-    "async": "Async     — sync vs event-driven async time-to-target under stragglers",
-}
+#: Name → one-line description of every runnable experiment (registry view).
+EXPERIMENTS: dict[str, str] = STUDIES.descriptions()
+
+
+def _shared_flags() -> argparse.ArgumentParser:
+    """The flag groups every study subcommand inherits."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", default="mnist",
+                        choices=["mnist", "fmnist", "cifar10", "blobs"])
+    common.add_argument("--non-iid", action="store_true",
+                        help="use the two-shards-per-client non-IID partition")
+    common.add_argument("--scale", default="bench", choices=["bench", "paper"],
+                        help="bench = laptop-friendly presets, paper = full scale")
+    common.add_argument("--clients", type=int, default=None,
+                        help="override the preset client population")
+    common.add_argument("--rounds", type=int, default=None,
+                        help="override the preset round budget")
+    common.add_argument("--rho", type=float, default=0.3,
+                        help="FedADMM proximal coefficient (bench default 0.3)")
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--output", default=None,
+                        help="optional path to save the raw results as JSON")
+    systems = common.add_argument_group(
+        "client-systems layer (see repro.systems)")
+    systems.add_argument("--codec", default=None, choices=sorted(CODEC_REGISTRY),
+                         help="compress uploads with this codec and account "
+                              "post-compression wire bytes")
+    systems.add_argument("--dropout", type=float, default=None,
+                         help="per-client per-round mid-round crash probability")
+    systems.add_argument("--deadline", type=float, default=None, dest="deadline_s",
+                         help="fault deadline in simulated seconds; slower "
+                              "clients are dropped as stragglers")
+    systems.add_argument("--network", default=None, choices=sorted(NETWORK_REGISTRY),
+                         help="per-client bandwidth/latency/compute model "
+                              "producing simulated round durations")
+    systems.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
+                         help="how local updates run: serial, thread, or process pool")
+    plan = common.add_argument_group(
+        "execution plan (see repro.federated.plans)")
+    plan.add_argument("--mode", default=None,
+                      choices=["sync", "semisync", "async"],
+                      help="round-loop strategy: lock-step sync, "
+                           "deadline-bounded semisync, or event-driven async")
+    plan.add_argument("--async", dest="async_mode", action="store_true",
+                      help="shorthand for --mode async")
+    plan.add_argument("--buffer-size", type=int, default=None,
+                      help="async: updates aggregated per model version "
+                           "(default: the sync per-round cohort size)")
+    plan.add_argument("--max-concurrency", type=int, default=None,
+                      help="async: clients training at any simulated instant "
+                           "(default: twice the buffer size)")
+    plan.add_argument("--staleness", default=None,
+                      choices=sorted(STALENESS_REGISTRY),
+                      help="staleness weighting for buffered updates "
+                           "(default: polynomial decay)")
+    plan.add_argument("--round-deadline", type=float, default=None,
+                      dest="round_deadline_s",
+                      help="semisync: per-round aggregation deadline in "
+                           "simulated seconds (default: derived from the "
+                           "network model's median client duration)")
+    return common
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,302 +94,31 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.cli",
         description="Regenerate the FedADMM paper's tables and figures.",
     )
-    parser.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS),
-                        help="which table/figure to regenerate")
-    parser.add_argument("--list", action="store_true", help="list experiments and exit")
-    parser.add_argument("--dataset", default="mnist",
-                        choices=["mnist", "fmnist", "cifar10", "blobs"])
-    parser.add_argument("--non-iid", action="store_true",
-                        help="use the two-shards-per-client non-IID partition")
-    parser.add_argument("--scale", default="bench", choices=["bench", "paper"],
-                        help="bench = laptop-friendly presets, paper = full scale")
-    parser.add_argument("--clients", type=int, default=None,
-                        help="override the preset client population")
-    parser.add_argument("--rounds", type=int, default=None,
-                        help="override the preset round budget")
-    parser.add_argument("--rho", type=float, default=0.3,
-                        help="FedADMM proximal coefficient (bench default 0.3)")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output", default=None,
-                        help="optional path to save the raw results as JSON")
-    systems = parser.add_argument_group(
-        "client-systems layer (see repro.systems)")
-    systems.add_argument("--codec", default=None, choices=sorted(CODEC_REGISTRY),
-                         help="compress uploads with this codec and account "
-                              "post-compression wire bytes")
-    systems.add_argument("--dropout", type=float, default=None,
-                         help="per-client per-round mid-round crash probability")
-    systems.add_argument("--deadline", type=float, default=None,
-                         help="round deadline in simulated seconds; slower "
-                              "clients are dropped as stragglers")
-    systems.add_argument("--network", default=None, choices=sorted(NETWORK_REGISTRY),
-                         help="per-client bandwidth/latency/compute model "
-                              "producing simulated round durations")
-    systems.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
-                         help="how local updates run: serial, thread, or process pool")
-    async_group = parser.add_argument_group(
-        "asynchronous engine (see repro.federated.async_engine)")
-    async_group.add_argument("--async", dest="async_mode", action="store_true",
-                             help="use the event-driven asynchronous engine "
-                                  "instead of lock-step synchronous rounds")
-    async_group.add_argument("--buffer-size", type=int, default=None,
-                             help="updates aggregated per model version "
-                                  "(default: the sync per-round cohort size)")
-    async_group.add_argument("--max-concurrency", type=int, default=None,
-                             help="clients training at any simulated instant "
-                                  "(default: twice the buffer size)")
-    async_group.add_argument("--staleness", default=None,
-                             choices=sorted(STALENESS_REGISTRY),
-                             help="staleness weighting for buffered updates "
-                                  "(default: polynomial decay)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments and exit")
+    shared = _shared_flags()
+    subparsers = parser.add_subparsers(dest="experiment", metavar="experiment")
+    for study in STUDIES:
+        sub = subparsers.add_parser(
+            study.name, help=study.description, parents=[shared],
+            description=study.description,
+        )
+        for flag in study.flags:
+            sub.add_argument(flag.name, **flag.kwargs)
     return parser
 
 
-def _apply_overrides(config, args):
-    overrides: dict[str, Any] = {"seed": args.seed}
-    if args.rounds is not None:
-        overrides["num_rounds"] = args.rounds
-    if args.clients is not None:
-        overrides["num_clients"] = args.clients
-    if args.codec is not None:
-        overrides["codec"] = args.codec
-    if args.dropout is not None:
-        overrides["dropout"] = args.dropout
-    if args.deadline is not None:
-        overrides["deadline_s"] = args.deadline
-    if args.network is not None:
-        overrides["network"] = args.network
-    if args.executor is not None:
-        overrides["executor"] = args.executor
-    if args.async_mode:
-        overrides["async_mode"] = True
-    if args.buffer_size is not None:
-        overrides["buffer_size"] = args.buffer_size
-    if args.max_concurrency is not None:
-        overrides["max_concurrency"] = args.max_concurrency
-    if args.staleness is not None:
-        overrides["staleness"] = args.staleness
-    return config.with_overrides(**overrides)
-
-
-def _run_table1() -> dict:
-    from repro.core.convergence import COMPLEXITY_TABLE, round_complexity
-
-    rows = []
-    for epsilon in (1e-2, 1e-3, 1e-4):
-        for method in COMPLEXITY_TABLE:
-            rows.append(
-                {
-                    "epsilon": epsilon,
-                    "method": method,
-                    "predicted_rounds": round_complexity(
-                        method, epsilon, num_clients=1000, num_selected=100,
-                        dissimilarity_b=3.0, gradient_bound_g=3.0,
-                    ),
-                }
-            )
-    print(format_table(rows))
-    return {"rows": rows}
-
-
-def _comparison_report(comparison) -> dict:
-    print(table3_text({comparison.config.name: comparison}))
-    return {
-        "config": comparison.config.name,
-        "summary": rounds_summary(comparison),
-    }
-
-
-def _series_report(results) -> dict:
-    series = {label: accuracy_series(result) for label, result in results.items()}
-    print(series_to_text(series, max_points=15))
-    return {"series": series}
-
-
-def _filter_async_compatible(specs: list[AlgorithmSpec], async_mode: bool):
-    """Drop algorithms that opt out of async aggregation when --async is on."""
-    if not async_mode:
-        return specs
-    from repro.algorithms import ALGORITHM_REGISTRY
-
-    kept, skipped = [], []
-    for spec in specs:
-        if ALGORITHM_REGISTRY[spec.name].supports_async:
-            kept.append(spec)
-        else:
-            skipped.append(spec.name)
-    if skipped:
-        print(f"note: --async skips {', '.join(skipped)} "
-              f"(no asynchronous aggregation support)")
-    return kept
-
-
-def run_experiment(name: str, args) -> dict:
+def run_experiment(name: str, args: Any) -> dict:
     """Run one named experiment and return a JSON-serialisable result summary."""
-    admm_rho = args.rho
-    if name == "table1":
-        return _run_table1()
-    if name == "table3":
-        config = _apply_overrides(
-            table3_config(args.dataset, non_iid=args.non_iid, scale=args.scale,
-                          num_clients=args.clients), args)
-        return _comparison_report(
-            run_comparison(
-                config,
-                _filter_async_compatible(
-                    default_algorithms(admm_rho=admm_rho), args.async_mode
-                ),
-            )
-        )
-    if name == "table4":
-        config = _apply_overrides(
-            table4_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
-        results = run_local_epochs_study(config, rho=admm_rho)
-        rows = [
-            {"E": epochs, "rounds_to_target": result.rounds_to_target,
-             "final_accuracy": result.history.final_accuracy()}
-            for epochs, result in results.items()
-        ]
-        print(format_table(rows))
-        return {"rows": rows}
-    if name == "table5":
-        config = _apply_overrides(
-            table5_config(args.dataset, num_clients=args.clients,
-                          non_iid=True, scale=args.scale), args)
-        table = run_rho_sensitivity_table({config.name: config}, admm_rho=admm_rho)
-        return {
-            column: _comparison_report(comparison) for column, comparison in table.items()
-        }
-    if name == "table6":
-        config = _apply_overrides(table6_config(args.dataset, scale=args.scale), args)
-        comparison = run_imbalanced_study(
-            config,
-            _filter_async_compatible(
-                [AlgorithmSpec("fedadmm", {"rho": admm_rho}),
-                 AlgorithmSpec("fedavg", {}),
-                 AlgorithmSpec("fedprox", {"rho": 0.1}),
-                 AlgorithmSpec("scaffold", {})],
-                args.async_mode,
-            ),
-        )
-        print(format_table([comparison.partition_stats.as_table_row()]))
-        return _comparison_report(comparison)
-    if name == "fig3":
-        base = _apply_overrides(
-            fig3_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
-        populations = [base.num_clients, base.num_clients * 2]
-        sweeps = run_scale_sweep(
-            base, populations,
-            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {})],
-        )
-        return {
-            str(population): _comparison_report(comparison)
-            for population, comparison in sweeps.items()
-        }
-    if name == "fig5":
-        config_iid = _apply_overrides(
-            fig5_config(args.dataset, non_iid=False, scale=args.scale), args)
-        config_non_iid = _apply_overrides(
-            fig5_config(args.dataset, non_iid=True, scale=args.scale), args)
-        outcome = run_heterogeneity_comparison(
-            config_iid, config_non_iid,
-            _filter_async_compatible(
-                [AlgorithmSpec("fedadmm", {"rho": admm_rho}),
-                 AlgorithmSpec("fedavg", {}),
-                 AlgorithmSpec("fedprox", {"rho": 0.1}),
-                 AlgorithmSpec("scaffold", {})],
-                args.async_mode,
-            ),
-        )
-        return {
-            setting: _comparison_report(comparison) for setting, comparison in outcome.items()
-        }
-    if name == "fig6":
-        config = _apply_overrides(
-            fig6_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
-        results = run_server_stepsize_study(
-            config, switch_round=config.num_rounds // 2, rho=admm_rho)
-        return _series_report(results)
-    if name == "fig8":
-        config = _apply_overrides(
-            fig8_config(args.dataset, non_iid=True, scale=args.scale), args)
-        return _series_report(run_local_init_study(config, rho=admm_rho))
-    if name == "systems":
-        config = _apply_overrides(
-            systems_config(args.dataset, non_iid=args.non_iid, scale=args.scale), args)
-        studies = run_systems_study(
-            config,
-            _filter_async_compatible(
-                [AlgorithmSpec("fedadmm", {"rho": admm_rho}),
-                 AlgorithmSpec("fedavg", {}),
-                 AlgorithmSpec("scaffold", {})],
-                args.async_mode,
-            ),
-            dropout_rates=(0.0, config.dropout) if config.dropout > 0 else (0.0,),
-        )
-        rows = []
-        for rate, comparison in studies.items():
-            for label, result in comparison.results.items():
-                rows.append(
-                    {
-                        "dropout": rate,
-                        "algorithm": label,
-                        "final_accuracy": result.history.final_accuracy(),
-                        "raw_upload_MB": result.ledger.upload_bytes / 1e6,
-                        "wire_upload_MB": result.ledger.upload_wire_bytes / 1e6,
-                        "sim_minutes": result.simulated_seconds / 60.0,
-                        "clients_dropped": result.history.total_dropped(),
-                    }
-                )
-        print(format_table(rows))
-        return {"rows": rows}
-    if name == "async":
-        # The preset sets async_mode; _apply_overrides threads the --async
-        # group flags (buffer size, concurrency, staleness) like any other.
-        config = _apply_overrides(
-            async_config(args.dataset, non_iid=args.non_iid, scale=args.scale),
-            args)
-        studies = run_async_study(
-            config,
-            [AlgorithmSpec("fedadmm", {"rho": admm_rho}), AlgorithmSpec("fedavg", {}),
-             AlgorithmSpec("fedprox", {"rho": 0.1})],
-            stop_at_target=True,
-        )
-        rows = []
-        for mode, comparison in studies.items():
-            for label, result in comparison.results.items():
-                seconds = result.history.seconds_to_accuracy(
-                    comparison.config.target_accuracy
-                )
-                rows.append(
-                    {
-                        "mode": mode,
-                        "algorithm": label,
-                        "rounds_to_target": result.rounds_to_target,
-                        "seconds_to_target": (
-                            None if seconds is None else round(seconds, 1)
-                        ),
-                        "final_accuracy": round(result.history.final_accuracy(), 4),
-                        "mean_staleness": round(
-                            float(np.nanmean(result.history.stalenesses))
-                            if len(result.history)
-                            else 0.0,
-                            2,
-                        ),
-                        "max_staleness": result.history.max_staleness(),
-                    }
-                )
-        print(format_table(rows))
-        return {"rows": rows}
-    if name == "fig9":
-        config = _apply_overrides(
-            fig9_config(args.dataset, non_iid=True, scale=args.scale), args)
-        results = run_rho_schedule_study(
-            config, constant_rhos=(admm_rho / 3, admm_rho),
-            switch_round=config.num_rounds // 2,
-            switch_values=(admm_rho / 3, admm_rho))
-        return _series_report(results)
-    raise ValueError(f"unknown experiment {name!r}")
+    study = STUDIES.get(name)  # unknown names raise ValueError
+    request = StudyRequest.from_args(args, option_names=study.option_names())
+    return STUDIES.run(name, request)
+
+
+def _print_listing() -> None:
+    print("Available experiments:\n")
+    for name, description in sorted(EXPERIMENTS.items()):
+        print(f"  {name:8s} {description}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -380,9 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:
-        print("Available experiments:\n")
-        for name, description in sorted(EXPERIMENTS.items()):
-            print(f"  {name:8s} {description}")
+        _print_listing()
         return 0
     result = run_experiment(args.experiment, args)
     if args.output:

@@ -9,7 +9,6 @@ sample counts through the ``n_train`` / ``n_test`` arguments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.datasets.base import TrainTestSplit
 from repro.datasets.synthetic import (

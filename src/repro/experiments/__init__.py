@@ -1,11 +1,16 @@
-"""Experiment harness: presets, runner, and formatting for every table/figure.
+"""Experiment harness: presets, core runner, and the declarative study registry.
 
 Each table and figure of the paper's Section V maps to
 
 * a configuration preset in :mod:`repro.experiments.configs`,
-* a runner entry point in :mod:`repro.experiments.runner`, and
-* a benchmark under ``benchmarks/`` that calls the runner and prints the
+* a sweep function plus a registered :class:`Study` in
+  :mod:`repro.experiments.studies` (the :data:`STUDIES` registry), and
+* a benchmark under ``benchmarks/`` that calls the sweep and prints the
   regenerated rows/series.
+
+:mod:`repro.experiments.runner` holds the reusable core
+(``build_simulation``, ``run_single``, ``run_comparison``); the CLI
+exposes every registry entry as a subcommand automatically.
 
 Presets come in two scales: ``"bench"`` (laptop-CPU friendly, used by the
 benchmark suite) and ``"paper"`` (the paper's population sizes and sample
@@ -25,25 +30,46 @@ from repro.experiments.configs import (
     fig6_config,
     fig8_config,
     fig9_config,
+    async_config,
+    semisync_config,
+    systems_config,
 )
 from repro.experiments.runner import (
-    run_single,
+    ComparisonResult,
+    build_simulation,
+    prepare_environment,
+    rounds_summary,
     run_comparison,
-    run_rounds_to_target_table,
-    run_scale_sweep,
+    run_single,
+)
+from repro.experiments.registry import (
+    Study,
+    StudyFlag,
+    StudyRegistry,
+    StudyRequest,
+)
+from repro.experiments.studies import (
+    STUDIES,
+    filter_plan_compatible,
+    run_async_study,
     run_heterogeneity_comparison,
-    run_server_stepsize_study,
+    run_imbalanced_study,
     run_local_epochs_study,
     run_local_init_study,
-    run_rho_sensitivity_table,
     run_rho_schedule_study,
-    run_imbalanced_study,
-    ComparisonResult,
+    run_rho_sensitivity_table,
+    run_rounds_to_target_table,
+    run_scale_sweep,
+    run_semisync_study,
+    run_server_stepsize_study,
+    run_study,
+    run_systems_study,
 )
 from repro.experiments.tables import format_table, comparison_to_rows
 from repro.experiments.figures import accuracy_series, series_to_text
 
 __all__ = [
+    # Presets
     "ExperimentConfig",
     "AlgorithmSpec",
     "default_algorithms",
@@ -56,8 +82,25 @@ __all__ = [
     "fig6_config",
     "fig8_config",
     "fig9_config",
-    "run_single",
+    "async_config",
+    "semisync_config",
+    "systems_config",
+    # Core runner
+    "ComparisonResult",
+    "build_simulation",
+    "prepare_environment",
+    "rounds_summary",
     "run_comparison",
+    "run_single",
+    # Registry
+    "Study",
+    "StudyFlag",
+    "StudyRegistry",
+    "StudyRequest",
+    "STUDIES",
+    "run_study",
+    "filter_plan_compatible",
+    # Sweeps
     "run_rounds_to_target_table",
     "run_scale_sweep",
     "run_heterogeneity_comparison",
@@ -66,8 +109,11 @@ __all__ = [
     "run_local_init_study",
     "run_rho_sensitivity_table",
     "run_rho_schedule_study",
+    "run_systems_study",
+    "run_async_study",
+    "run_semisync_study",
     "run_imbalanced_study",
-    "ComparisonResult",
+    # Formatting
     "format_table",
     "comparison_to_rows",
     "accuracy_series",

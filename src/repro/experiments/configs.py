@@ -67,16 +67,35 @@ class ExperimentConfig:
     network: str | None = None
     executor: str = "serial"
     max_workers: int | None = None
-    # Asynchronous engine (see repro.federated.async_engine); with
-    # async_mode=False the remaining knobs are ignored and the run uses the
-    # bit-identical synchronous round loop.
+    # Execution plan (see repro.federated.plans): "sync" is the bit-identical
+    # lock-step round loop, "semisync" the deadline-bounded plan with
+    # FedBuff-weighted late arrivals, "async" the event-driven buffered plan.
+    # ``async_mode`` is the legacy boolean spelling of mode="async"; the two
+    # fields are kept consistent automatically.
+    mode: str = "sync"
     async_mode: bool = False
     buffer_size: int | None = None
     max_concurrency: int | None = None
     staleness: str = "polynomial"
     staleness_exponent: float = 0.5
+    # Semi-synchronous plan only: the per-round aggregation deadline in
+    # simulated seconds (None derives it from the network model's median
+    # predicted client duration).
+    round_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
+        # Normalise the two plan spellings: async_mode=True is shorthand for
+        # mode="async", and mode is always the authoritative field.
+        if self.async_mode and self.mode == "sync":
+            object.__setattr__(self, "mode", "async")
+        object.__setattr__(self, "async_mode", self.mode == "async")
+        if self.mode not in ("sync", "semisync", "async"):
+            raise ConfigurationError(
+                f"mode must be one of ('sync', 'semisync', 'async'), "
+                f"got {self.mode!r}"
+            )
+        if self.round_deadline_s is not None and self.round_deadline_s <= 0:
+            raise ConfigurationError("round_deadline_s must be positive")
         if self.num_clients <= 0:
             raise ConfigurationError("num_clients must be positive")
         if not 0 < self.client_fraction <= 1:
@@ -99,7 +118,16 @@ class ExperimentConfig:
             raise ConfigurationError("staleness_exponent must be non-negative")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        Overriding either plan spelling (``mode`` or the legacy
+        ``async_mode``) updates the other, so ``async_mode=False`` really
+        does return a synchronous config.
+        """
+        if "async_mode" in kwargs and "mode" not in kwargs:
+            kwargs["mode"] = "async" if kwargs["async_mode"] else "sync"
+        if "mode" in kwargs and "async_mode" not in kwargs:
+            kwargs["async_mode"] = kwargs["mode"] == "async"
         return replace(self, **kwargs)
 
 
@@ -399,6 +427,41 @@ def async_config(
         async_mode=True,
         buffer_size=buffer_size,
         max_concurrency=max_concurrency,
+        staleness=staleness,
+    )
+
+
+def semisync_config(
+    dataset: str = "blobs",
+    non_iid: bool = True,
+    scale: str = "bench",
+    seed: int = 0,
+    round_deadline_s: float | None = None,
+    staleness: str = "polynomial",
+) -> ExperimentConfig:
+    """Semi-synchronous scenario: deadline-bounded rounds under stragglers.
+
+    The same heavy-tailed log-normal network as :func:`async_config`, but
+    driven by the deadline-bounded semi-synchronous plan: each round closes
+    at its deadline (derived from the median predicted client duration when
+    ``round_deadline_s`` is None) and stragglers deliver into later rounds
+    as staleness-weighted late arrivals.
+    """
+    _check_scale(scale)
+    num_clients = 100 if scale == "paper" else 30
+    config = _base_config(
+        name=f"semisync-{dataset}-{'noniid' if non_iid else 'iid'}",
+        dataset=dataset,
+        num_clients=num_clients,
+        non_iid=non_iid,
+        scale=scale,
+        seed=seed,
+    )
+    return config.with_overrides(
+        client_fraction=0.2,
+        network="lognormal",
+        mode="semisync",
+        round_deadline_s=round_deadline_s,
         staleness=staleness,
     )
 

@@ -1,0 +1,188 @@
+"""Declarative study registry: name → config-builder → sweep → summariser.
+
+Each of the paper's tables and figures used to be a hand-written
+``run_*_study`` function in ``runner.py`` wired into a 200-line
+``if``-chain in ``cli.py``.  The registry replaces both: a
+:class:`Study` declares
+
+* how to *build* its base configuration from a :class:`StudyRequest`
+  (the CLI-level knobs: dataset, scale, seed, overrides),
+* how to *sweep* that configuration (the actual experiment logic), and
+* how to *summarise* the raw sweep output into a printed report plus a
+  JSON-serialisable payload,
+
+and :meth:`StudyRegistry.run` executes any of them generically.  The CLI
+walks the registry to expose one subcommand per study — including each
+study's extra flags — so adding a study is one :meth:`StudyRegistry.add`
+call, with no runner or CLI edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import ExperimentConfig
+
+#: Config fields the shared CLI flags override after the preset is built;
+#: ``None`` values mean "flag not given, keep the preset's value".
+OVERRIDE_FIELDS = (
+    "num_rounds",
+    "num_clients",
+    "codec",
+    "dropout",
+    "deadline_s",
+    "network",
+    "executor",
+    "mode",
+    "buffer_size",
+    "max_concurrency",
+    "staleness",
+    "round_deadline_s",
+)
+
+
+@dataclass(frozen=True)
+class StudyRequest:
+    """Everything a study needs from the caller (CLI or library user)."""
+
+    dataset: str = "blobs"
+    non_iid: bool = False
+    scale: str = "bench"
+    clients: int | None = None
+    rounds: int | None = None
+    rho: float = 0.3
+    seed: int = 0
+    #: Generic :class:`ExperimentConfig` field overrides (systems/plan flags).
+    overrides: dict[str, Any] = field(default_factory=dict)
+    #: Values of the study's own extra flags, keyed by argparse dest.
+    options: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_args(cls, args: Any, option_names: tuple[str, ...] = ()) -> "StudyRequest":
+        """Build a request from an argparse-style namespace.
+
+        Missing attributes fall back to the field defaults, so plain
+        objects with only a few attributes work (handy in tests).
+        """
+        overrides = {
+            name: getattr(args, name, None)
+            for name in OVERRIDE_FIELDS
+            if getattr(args, name, None) is not None
+        }
+        if getattr(args, "async_mode", False) and "mode" not in overrides:
+            overrides["mode"] = "async"
+        return cls(
+            dataset=getattr(args, "dataset", cls.dataset),
+            non_iid=getattr(args, "non_iid", cls.non_iid),
+            scale=getattr(args, "scale", cls.scale),
+            clients=getattr(args, "clients", None),
+            rounds=getattr(args, "rounds", None),
+            rho=getattr(args, "rho", cls.rho),
+            seed=getattr(args, "seed", cls.seed),
+            overrides=overrides,
+            options={
+                name: getattr(args, name)
+                for name in option_names
+                if getattr(args, name, None) is not None
+            },
+        )
+
+    def option(self, name: str, default: Any = None) -> Any:
+        """One of the study's extra-flag values, or ``default``."""
+        return self.options.get(name, default)
+
+    def apply_overrides(self, config: ExperimentConfig) -> ExperimentConfig:
+        """Apply the request's generic knobs on top of a preset config."""
+        overrides: dict[str, Any] = dict(self.overrides)
+        overrides["seed"] = self.seed
+        if self.rounds is not None:
+            overrides["num_rounds"] = self.rounds
+        if self.clients is not None:
+            overrides["num_clients"] = self.clients
+        return config.with_overrides(**overrides)
+
+
+@dataclass(frozen=True)
+class StudyFlag:
+    """One extra argparse flag a study contributes to its subcommand."""
+
+    name: str  # e.g. "--etas"
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dest(self) -> str:
+        """The argparse destination attribute for this flag."""
+        return self.kwargs.get("dest", self.name.lstrip("-").replace("-", "_"))
+
+
+@dataclass(frozen=True)
+class Study:
+    """One declaratively registered experiment."""
+
+    name: str
+    description: str
+    #: Build the base :class:`ExperimentConfig` from the request (None for
+    #: studies that need no training configuration, e.g. closed-form tables).
+    build_config: Callable[[StudyRequest], ExperimentConfig | None]
+    #: Execute the sweep; receives the post-override config and the request.
+    sweep: Callable[[ExperimentConfig | None, StudyRequest], Any]
+    #: Print the human-readable report and return the JSON payload.
+    summarise: Callable[[Any, StudyRequest], dict]
+    #: Extra CLI flags exposed on this study's subcommand.
+    flags: tuple[StudyFlag, ...] = ()
+
+    def option_names(self) -> tuple[str, ...]:
+        """The argparse dests of this study's extra flags."""
+        return tuple(flag.dest for flag in self.flags)
+
+
+class StudyRegistry:
+    """Ordered name → :class:`Study` mapping with generic execution."""
+
+    def __init__(self) -> None:
+        self._studies: dict[str, Study] = {}
+
+    def add(self, study: Study) -> Study:
+        """Register a study (names must be unique)."""
+        if study.name in self._studies:
+            raise ConfigurationError(f"study {study.name!r} already registered")
+        self._studies[study.name] = study
+        return study
+
+    def get(self, name: str) -> Study:
+        """Look up one study; unknown names raise ``ValueError``."""
+        try:
+            return self._studies[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown experiment {name!r}; available: {sorted(self._studies)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Registered study names in registration order."""
+        return list(self._studies)
+
+    def descriptions(self) -> dict[str, str]:
+        """Name → one-line description for listings."""
+        return {name: study.description for name, study in self._studies.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._studies
+
+    def __iter__(self):
+        return iter(self._studies.values())
+
+    def __len__(self) -> int:
+        return len(self._studies)
+
+    def run(self, name: str, request: StudyRequest | None = None) -> dict:
+        """Execute one study end to end and return its JSON payload."""
+        study = self.get(name)
+        request = request if request is not None else StudyRequest()
+        config = study.build_config(request)
+        if config is not None:
+            config = request.apply_overrides(config)
+        raw = study.sweep(config, request)
+        return study.summarise(raw, request)

@@ -1,10 +1,16 @@
-"""Experiment runner: build a simulation from a config and regenerate results.
+"""Core experiment machinery: config → simulation → result.
 
-``run_single`` turns an :class:`ExperimentConfig` plus an
-:class:`AlgorithmSpec` into a finished :class:`SimulationResult`; the
-``run_*`` study functions orchestrate the sweeps behind each table and
-figure of the paper's evaluation and return plain data structures that the
-benchmarks print and the tests assert on.
+This module holds the reusable primitives every study builds on:
+``prepare_environment`` (dataset → partition → clients),
+``build_simulation`` (config + algorithm → engine with the right execution
+plan), ``run_single`` / ``run_comparison`` (one run / several algorithms on
+identical data), and ``rounds_summary``.
+
+The per-table/figure orchestration that used to live here as thirteen
+``run_*_study`` functions is now declared against the
+:class:`~repro.experiments.registry.StudyRegistry` in
+:mod:`repro.experiments.studies`; ``run_study("table3", request)`` executes
+any of them generically.
 """
 
 from __future__ import annotations
@@ -14,8 +20,6 @@ from typing import Any, Sequence
 
 from repro.algorithms import build_algorithm
 from repro.algorithms.base import FederatedAlgorithm
-from repro.core.rho import PiecewiseRho
-from repro.core.stepsize import PiecewiseStepSize
 from repro.datasets.base import TrainTestSplit
 from repro.datasets.registry import load_dataset
 from repro.exceptions import ConfigurationError
@@ -24,8 +28,9 @@ from repro.federated.async_engine import AsyncFederatedSimulation
 from repro.federated.client import ClientState, build_clients
 from repro.federated.engine import FederatedSimulation, SimulationResult
 from repro.federated.heterogeneity import FixedEpochs, UniformRandomEpochs
+from repro.federated.plans import SemiSyncPlan
 from repro.federated.sampler import UniformFractionSampler
-from repro.metrics.rounds_to_target import RoundsToTarget, format_rounds, rounds_to_target
+from repro.metrics.rounds_to_target import format_rounds, rounds_to_target
 from repro.metrics.speedup import reduction_vs_best_baseline, speedup_vs_reference
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import build_model
@@ -77,11 +82,13 @@ def build_simulation(
     clients: list[ClientState] | None = None,
     split: TrainTestSplit | None = None,
 ) -> FederatedSimulation:
-    """Construct a :class:`FederatedSimulation` from a config and algorithm.
+    """Construct a simulation from a config, with the configured plan.
 
-    ``clients``/``split`` may be passed in so that several algorithms are
-    compared on identical data; when omitted they are regenerated from the
-    config (deterministically, from its seed).
+    ``config.mode`` selects the execution plan: ``"sync"`` (lock-step),
+    ``"semisync"`` (deadline-bounded rounds), or ``"async"`` (event-driven
+    buffered aggregation).  ``clients``/``split`` may be passed in so that
+    several algorithms are compared on identical data; when omitted they
+    are regenerated from the config (deterministically, from its seed).
     """
     if isinstance(algorithm, AlgorithmSpec):
         algorithm = build_algorithm(algorithm.name, **algorithm.kwargs)
@@ -122,14 +129,27 @@ def build_simulation(
         faults=faults,
         executor=build_executor(config.executor, max_workers=config.max_workers),
     )
-    if config.async_mode:
-        # buffer_size=None defers to the engine's default: the synchronous
+    if config.mode == "async":
+        # buffer_size=None defers to the plan's default: the synchronous
         # cohort, so each aggregation consumes the same number of uploads.
         return AsyncFederatedSimulation(
             buffer_size=config.buffer_size,
             max_concurrency=config.max_concurrency,
             staleness=config.staleness,
             staleness_exponent=config.staleness_exponent,
+            **common,
+        )
+    if config.mode == "semisync":
+        if common["network"] is None:
+            from repro.systems.network import HomogeneousNetwork
+
+            common["network"] = HomogeneousNetwork()
+        return FederatedSimulation(
+            plan=SemiSyncPlan(
+                round_deadline_s=config.round_deadline_s,
+                staleness=config.staleness,
+                staleness_exponent=config.staleness_exponent,
+            ),
             **common,
         )
     return FederatedSimulation(**common)
@@ -150,7 +170,7 @@ def run_single(
 
 
 # --------------------------------------------------------------------------- #
-# Comparisons (Table III core machinery, reused by most figures)
+# Comparisons (Table III core machinery, reused by most studies)
 # --------------------------------------------------------------------------- #
 @dataclass
 class ComparisonResult:
@@ -210,209 +230,6 @@ def run_comparison(
             stop_at_target=stop_at_target,
         )
     return outcome
-
-
-def run_rounds_to_target_table(
-    configs: dict[str, ExperimentConfig],
-    algorithms: Sequence[AlgorithmSpec],
-) -> dict[str, ComparisonResult]:
-    """Table III: one comparison per column (dataset x population x distribution)."""
-    return {
-        column: run_comparison(config, algorithms) for column, config in configs.items()
-    }
-
-
-# --------------------------------------------------------------------------- #
-# Figure-specific studies
-# --------------------------------------------------------------------------- #
-def run_scale_sweep(
-    base_config: ExperimentConfig,
-    populations: Sequence[int],
-    algorithms: Sequence[AlgorithmSpec],
-) -> dict[int, ComparisonResult]:
-    """Figs. 3-4: repeat the comparison at several client populations.
-
-    Hyperparameters stay fixed across populations, exactly as in the paper's
-    protocol (tuned once at the smallest population, then reused).
-    """
-    sweeps: dict[int, ComparisonResult] = {}
-    for population in populations:
-        config = base_config.with_overrides(
-            num_clients=population,
-            name=f"{base_config.name}-m{population}",
-        )
-        sweeps[population] = run_comparison(config, algorithms)
-    return sweeps
-
-
-def run_heterogeneity_comparison(
-    config_iid: ExperimentConfig,
-    config_non_iid: ExperimentConfig,
-    algorithms: Sequence[AlgorithmSpec],
-) -> dict[str, ComparisonResult]:
-    """Fig. 5: the same comparison under IID and non-IID distributions."""
-    return {
-        "iid": run_comparison(config_iid, algorithms),
-        "non_iid": run_comparison(config_non_iid, algorithms),
-    }
-
-
-def run_server_stepsize_study(
-    config: ExperimentConfig,
-    etas: Sequence[float] = (0.5, 1.0, 1.5),
-    switch_round: int | None = None,
-    switch_value: float = 0.5,
-    rho: float = 0.01,
-) -> dict[str, SimulationResult]:
-    """Fig. 6: FedADMM under different server step sizes η.
-
-    If ``switch_round`` is given an additional run decreases η to
-    ``switch_value`` at that round (the paper's mid-run adjustment).
-    """
-    results: dict[str, SimulationResult] = {}
-    for eta in etas:
-        spec_label = f"eta={eta}"
-        algorithm = build_algorithm("fedadmm", rho=rho, server_step_size=eta)
-        results[spec_label] = run_single(config, algorithm, stop_at_target=False)
-    if switch_round is not None:
-        policy = PiecewiseStepSize(values=[1.0, switch_value], boundaries=[switch_round])
-        algorithm = build_algorithm("fedadmm", rho=rho, server_step_size=policy)
-        results[f"eta=1.0->{switch_value}@{switch_round}"] = run_single(
-            config, algorithm, stop_at_target=False
-        )
-    return results
-
-
-def run_local_epochs_study(
-    config: ExperimentConfig,
-    epoch_counts: Sequence[int] = (1, 5, 10),
-    rho: float = 0.01,
-) -> dict[int, SimulationResult]:
-    """Table IV / Fig. 7: rounds to target for FedADMM at several E values."""
-    results: dict[int, SimulationResult] = {}
-    for epochs in epoch_counts:
-        run_config = config.with_overrides(
-            local_epochs=epochs, name=f"{config.name}-E{epochs}"
-        )
-        algorithm = build_algorithm("fedadmm", rho=rho)
-        results[epochs] = run_single(run_config, algorithm, stop_at_target=True)
-    return results
-
-
-def run_local_init_study(
-    config: ExperimentConfig,
-    etas: Sequence[float] = (1.0, 0.5),
-    rho: float = 0.01,
-) -> dict[str, SimulationResult]:
-    """Fig. 8: warm start (init I, from w_i) vs restart (init II, from θ)."""
-    results: dict[str, SimulationResult] = {}
-    for eta in etas:
-        for warm_start, label in ((True, "I-warm"), (False, "II-restart")):
-            algorithm = build_algorithm(
-                "fedadmm", rho=rho, server_step_size=eta, warm_start=warm_start
-            )
-            results[f"{label}-eta={eta}"] = run_single(
-                config, algorithm, stop_at_target=False
-            )
-    return results
-
-
-def run_rho_sensitivity_table(
-    configs: dict[str, ExperimentConfig],
-    prox_rhos: Sequence[float] = (0.01, 0.1, 1.0),
-    admm_rho: float = 0.01,
-) -> dict[str, ComparisonResult]:
-    """Table V: FedProx across ρ values vs FedADMM at fixed ρ."""
-    algorithms = [AlgorithmSpec("fedadmm", {"rho": admm_rho})]
-    algorithms.extend(AlgorithmSpec("fedprox", {"rho": rho}) for rho in prox_rhos)
-    return {
-        column: run_comparison(config, algorithms) for column, config in configs.items()
-    }
-
-
-def run_rho_schedule_study(
-    config: ExperimentConfig,
-    constant_rhos: Sequence[float] = (0.01, 0.1),
-    switch_round: int | None = 10,
-    switch_values: tuple[float, float] = (0.01, 0.1),
-) -> dict[str, SimulationResult]:
-    """Fig. 9: constant vs dynamically increased ρ for FedADMM."""
-    results: dict[str, SimulationResult] = {}
-    for rho in constant_rhos:
-        algorithm = build_algorithm("fedadmm", rho=rho)
-        results[f"rho={rho}"] = run_single(config, algorithm, stop_at_target=False)
-    if switch_round is not None:
-        schedule = PiecewiseRho(values=list(switch_values), boundaries=[switch_round])
-        algorithm = build_algorithm("fedadmm", rho=schedule)
-        label = f"rho={switch_values[0]}->{switch_values[1]}@{switch_round}"
-        results[label] = run_single(config, algorithm, stop_at_target=False)
-    return results
-
-
-def run_systems_study(
-    config: ExperimentConfig,
-    algorithms: Sequence[AlgorithmSpec],
-    dropout_rates: Sequence[float] = (0.0, 0.2, 0.4),
-) -> dict[float, ComparisonResult]:
-    """System-heterogeneity study: the comparison across client dropout rates.
-
-    Every other systems knob (codec, network model, executor) is taken from
-    ``config``; runs do not stop at the target so that final accuracies are
-    comparable across rates.  This is the scenario behind the paper's
-    robustness claim: FedADMM should degrade more gracefully than
-    FedAvg/SCAFFOLD as participation gets less reliable.
-    """
-    results: dict[float, ComparisonResult] = {}
-    for rate in dropout_rates:
-        run_config = config.with_overrides(
-            dropout=rate, name=f"{config.name}-dropout{rate}"
-        )
-        results[rate] = run_comparison(run_config, algorithms, stop_at_target=False)
-    return results
-
-
-def run_async_study(
-    config: ExperimentConfig,
-    algorithms: Sequence[AlgorithmSpec],
-    stop_at_target: bool = True,
-) -> dict[str, ComparisonResult]:
-    """Sync vs async time-to-target under the same heterogeneity profile.
-
-    Every algorithm runs twice on identical data, model initialisation, and
-    network model: once with the lock-step synchronous engine and once with
-    the event-driven asynchronous engine (same per-aggregation upload count
-    — the async buffer defaults to the sync cohort size).  The interesting
-    comparison is ``history.seconds_to_accuracy(target)``: under a
-    heavy-tailed straggler profile the async engine stops paying for the
-    slowest client of every round.
-    """
-    if not config.async_mode:
-        raise ConfigurationError(
-            "run_async_study expects a config with async_mode=True "
-            "(see async_config)"
-        )
-    sync_config = config.with_overrides(
-        async_mode=False, name=f"{config.name}-sync"
-    )
-    async_config_ = config.with_overrides(name=f"{config.name}-async")
-    return {
-        "sync": run_comparison(sync_config, algorithms, stop_at_target=stop_at_target),
-        "async": run_comparison(
-            async_config_, algorithms, stop_at_target=stop_at_target
-        ),
-    }
-
-
-def run_imbalanced_study(
-    config: ExperimentConfig,
-    algorithms: Sequence[AlgorithmSpec],
-) -> ComparisonResult:
-    """Table VI / Fig. 10: the imbalanced-volume setting."""
-    if config.partition != "imbalanced":
-        raise ConfigurationError(
-            "run_imbalanced_study expects a config using the 'imbalanced' partition"
-        )
-    return run_comparison(config, algorithms, stop_at_target=False)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,699 @@
+"""The paper's studies, declared against the :class:`StudyRegistry`.
+
+Two layers live here:
+
+* **Sweep functions** (``run_*_study`` and friends) — the experiment
+  logic behind each table/figure, importable on their own (the benchmark
+  suite calls them directly).  They used to live in ``runner.py``.
+* **Registry entries** — one :class:`~repro.experiments.registry.Study`
+  per table/figure binding a config preset, a sweep, a summariser, and
+  any study-specific CLI flags.  ``cli.py`` walks :data:`STUDIES` to
+  expose one subcommand per entry; nothing is hand-wired.
+
+Adding a new study is one ``STUDIES.add(Study(...))`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms import ALGORITHM_REGISTRY, build_algorithm
+from repro.core.rho import PiecewiseRho
+from repro.core.stepsize import PiecewiseStepSize
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import (
+    AlgorithmSpec,
+    ExperimentConfig,
+    async_config,
+    default_algorithms,
+    fig3_config,
+    fig5_config,
+    fig6_config,
+    fig8_config,
+    fig9_config,
+    semisync_config,
+    systems_config,
+    table3_config,
+    table4_config,
+    table5_config,
+    table6_config,
+)
+from repro.experiments.figures import accuracy_series, series_to_text
+from repro.experiments.registry import (
+    Study,
+    StudyFlag,
+    StudyRegistry,
+    StudyRequest,
+)
+from repro.experiments.runner import (
+    ComparisonResult,
+    rounds_summary,
+    run_comparison,
+    run_single,
+)
+from repro.experiments.tables import format_table, table3_text
+from repro.federated.engine import SimulationResult
+
+
+def filter_plan_compatible(
+    specs: Sequence[AlgorithmSpec], mode: str
+) -> list[AlgorithmSpec]:
+    """Drop algorithms that opt out of buffered aggregation plans.
+
+    Lock-step methods (SCAFFOLD, FedPD) cannot run under the async or
+    semi-sync plans; a note is printed for any skipped entry.
+    """
+    if mode == "sync":
+        return list(specs)
+    kept, skipped = [], []
+    for spec in specs:
+        if ALGORITHM_REGISTRY[spec.name].supports_plan(mode):
+            kept.append(spec)
+        else:
+            skipped.append(spec.name)
+    if skipped:
+        print(
+            f"note: mode={mode} skips {', '.join(skipped)} "
+            f"(no asynchronous aggregation support)"
+        )
+    return kept
+
+
+# --------------------------------------------------------------------------- #
+# Sweep functions (the logic behind each table/figure)
+# --------------------------------------------------------------------------- #
+def run_rounds_to_target_table(
+    configs: dict[str, ExperimentConfig],
+    algorithms: Sequence[AlgorithmSpec],
+) -> dict[str, ComparisonResult]:
+    """Table III: one comparison per column (dataset x population x distribution)."""
+    return {
+        column: run_comparison(config, algorithms) for column, config in configs.items()
+    }
+
+
+def run_scale_sweep(
+    base_config: ExperimentConfig,
+    populations: Sequence[int],
+    algorithms: Sequence[AlgorithmSpec],
+) -> dict[int, ComparisonResult]:
+    """Figs. 3-4: repeat the comparison at several client populations.
+
+    Hyperparameters stay fixed across populations, exactly as in the paper's
+    protocol (tuned once at the smallest population, then reused).
+    """
+    sweeps: dict[int, ComparisonResult] = {}
+    for population in populations:
+        config = base_config.with_overrides(
+            num_clients=population,
+            name=f"{base_config.name}-m{population}",
+        )
+        sweeps[population] = run_comparison(config, algorithms)
+    return sweeps
+
+
+def run_heterogeneity_comparison(
+    config_iid: ExperimentConfig,
+    config_non_iid: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+) -> dict[str, ComparisonResult]:
+    """Fig. 5: the same comparison under IID and non-IID distributions."""
+    return {
+        "iid": run_comparison(config_iid, algorithms),
+        "non_iid": run_comparison(config_non_iid, algorithms),
+    }
+
+
+def run_server_stepsize_study(
+    config: ExperimentConfig,
+    etas: Sequence[float] = (0.5, 1.0, 1.5),
+    switch_round: int | None = None,
+    switch_value: float = 0.5,
+    rho: float = 0.01,
+) -> dict[str, SimulationResult]:
+    """Fig. 6: FedADMM under different server step sizes η.
+
+    If ``switch_round`` is given an additional run decreases η to
+    ``switch_value`` at that round (the paper's mid-run adjustment).
+    """
+    results: dict[str, SimulationResult] = {}
+    for eta in etas:
+        spec_label = f"eta={eta}"
+        algorithm = build_algorithm("fedadmm", rho=rho, server_step_size=eta)
+        results[spec_label] = run_single(config, algorithm, stop_at_target=False)
+    if switch_round is not None:
+        policy = PiecewiseStepSize(values=[1.0, switch_value], boundaries=[switch_round])
+        algorithm = build_algorithm("fedadmm", rho=rho, server_step_size=policy)
+        results[f"eta=1.0->{switch_value}@{switch_round}"] = run_single(
+            config, algorithm, stop_at_target=False
+        )
+    return results
+
+
+def run_local_epochs_study(
+    config: ExperimentConfig,
+    epoch_counts: Sequence[int] = (1, 5, 10),
+    rho: float = 0.01,
+) -> dict[int, SimulationResult]:
+    """Table IV / Fig. 7: rounds to target for FedADMM at several E values."""
+    results: dict[int, SimulationResult] = {}
+    for epochs in epoch_counts:
+        run_config = config.with_overrides(
+            local_epochs=epochs, name=f"{config.name}-E{epochs}"
+        )
+        algorithm = build_algorithm("fedadmm", rho=rho)
+        results[epochs] = run_single(run_config, algorithm, stop_at_target=True)
+    return results
+
+
+def run_local_init_study(
+    config: ExperimentConfig,
+    etas: Sequence[float] = (1.0, 0.5),
+    rho: float = 0.01,
+) -> dict[str, SimulationResult]:
+    """Fig. 8: warm start (init I, from w_i) vs restart (init II, from θ)."""
+    results: dict[str, SimulationResult] = {}
+    for eta in etas:
+        for warm_start, label in ((True, "I-warm"), (False, "II-restart")):
+            algorithm = build_algorithm(
+                "fedadmm", rho=rho, server_step_size=eta, warm_start=warm_start
+            )
+            results[f"{label}-eta={eta}"] = run_single(
+                config, algorithm, stop_at_target=False
+            )
+    return results
+
+
+def run_rho_sensitivity_table(
+    configs: dict[str, ExperimentConfig],
+    prox_rhos: Sequence[float] = (0.01, 0.1, 1.0),
+    admm_rho: float = 0.01,
+) -> dict[str, ComparisonResult]:
+    """Table V: FedProx across ρ values vs FedADMM at fixed ρ."""
+    algorithms = [AlgorithmSpec("fedadmm", {"rho": admm_rho})]
+    algorithms.extend(AlgorithmSpec("fedprox", {"rho": rho}) for rho in prox_rhos)
+    return {
+        column: run_comparison(config, algorithms) for column, config in configs.items()
+    }
+
+
+def run_rho_schedule_study(
+    config: ExperimentConfig,
+    constant_rhos: Sequence[float] = (0.01, 0.1),
+    switch_round: int | None = 10,
+    switch_values: tuple[float, float] = (0.01, 0.1),
+) -> dict[str, SimulationResult]:
+    """Fig. 9: constant vs dynamically increased ρ for FedADMM."""
+    results: dict[str, SimulationResult] = {}
+    for rho in constant_rhos:
+        algorithm = build_algorithm("fedadmm", rho=rho)
+        results[f"rho={rho}"] = run_single(config, algorithm, stop_at_target=False)
+    if switch_round is not None:
+        schedule = PiecewiseRho(values=list(switch_values), boundaries=[switch_round])
+        algorithm = build_algorithm("fedadmm", rho=schedule)
+        label = f"rho={switch_values[0]}->{switch_values[1]}@{switch_round}"
+        results[label] = run_single(config, algorithm, stop_at_target=False)
+    return results
+
+
+def run_systems_study(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    dropout_rates: Sequence[float] = (0.0, 0.2, 0.4),
+) -> dict[float, ComparisonResult]:
+    """System-heterogeneity study: the comparison across client dropout rates.
+
+    Every other systems knob (codec, network model, executor) is taken from
+    ``config``; runs do not stop at the target so that final accuracies are
+    comparable across rates.  This is the scenario behind the paper's
+    robustness claim: FedADMM should degrade more gracefully than
+    FedAvg/SCAFFOLD as participation gets less reliable.
+    """
+    results: dict[float, ComparisonResult] = {}
+    for rate in dropout_rates:
+        run_config = config.with_overrides(
+            dropout=rate, name=f"{config.name}-dropout{rate}"
+        )
+        results[rate] = run_comparison(run_config, algorithms, stop_at_target=False)
+    return results
+
+
+def _mode_vs_sync_study(
+    mode: str,
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    stop_at_target: bool,
+) -> dict[str, ComparisonResult]:
+    """Run every algorithm under lock-step sync and under ``mode``.
+
+    Both runs use identical data, model initialisation, and network model,
+    so ``history.seconds_to_accuracy(target)`` isolates what the buffered
+    plan buys: under a heavy-tailed straggler profile it stops paying for
+    the slowest client of every round.
+    """
+    if config.mode != mode:
+        raise ConfigurationError(
+            f"this study expects a config with mode={mode!r} "
+            f"(see {mode}_config)"
+        )
+    sync_config = config.with_overrides(mode="sync", name=f"{config.name}-sync")
+    mode_config = config.with_overrides(name=f"{config.name}-{mode}")
+    return {
+        "sync": run_comparison(sync_config, algorithms, stop_at_target=stop_at_target),
+        mode: run_comparison(mode_config, algorithms, stop_at_target=stop_at_target),
+    }
+
+
+def run_async_study(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    stop_at_target: bool = True,
+) -> dict[str, ComparisonResult]:
+    """Sync vs async time-to-target under the same heterogeneity profile.
+
+    The async buffer defaults to the sync cohort size, so each
+    aggregation consumes the same number of uploads in both modes.
+    """
+    return _mode_vs_sync_study("async", config, algorithms, stop_at_target)
+
+
+def run_semisync_study(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    stop_at_target: bool = True,
+) -> dict[str, ComparisonResult]:
+    """Sync vs semi-sync time-to-target under the same straggler profile.
+
+    The semi-synchronous plan stops paying for the slowest client of a
+    round (it closes at the deadline) without giving up lock-step's
+    bounded staleness: late arrivals deliver into later rounds with
+    FedBuff-style weights.
+    """
+    return _mode_vs_sync_study("semisync", config, algorithms, stop_at_target)
+
+
+def run_imbalanced_study(
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+) -> ComparisonResult:
+    """Table VI / Fig. 10: the imbalanced-volume setting."""
+    if config.partition != "imbalanced":
+        raise ConfigurationError(
+            "run_imbalanced_study expects a config using the 'imbalanced' partition"
+        )
+    return run_comparison(config, algorithms, stop_at_target=False)
+
+
+# --------------------------------------------------------------------------- #
+# Summarisers (print a report, return the JSON payload)
+# --------------------------------------------------------------------------- #
+def _comparison_report(comparison: ComparisonResult) -> dict:
+    print(table3_text({comparison.config.name: comparison}))
+    return {
+        "config": comparison.config.name,
+        "summary": rounds_summary(comparison),
+    }
+
+
+def _series_report(results: dict[str, SimulationResult]) -> dict:
+    series = {label: accuracy_series(result) for label, result in results.items()}
+    print(series_to_text(series, max_points=15))
+    return {"series": series}
+
+
+def _staleness_row(mode: str, label: str, result: SimulationResult, target: float) -> dict:
+    seconds = result.history.seconds_to_accuracy(target)
+    return {
+        "mode": mode,
+        "algorithm": label,
+        "rounds_to_target": result.rounds_to_target,
+        "seconds_to_target": None if seconds is None else round(seconds, 1),
+        "final_accuracy": round(result.history.final_accuracy(), 4),
+        "mean_staleness": round(
+            float(np.nanmean(result.history.stalenesses))
+            if len(result.history)
+            else 0.0,
+            2,
+        ),
+        "max_staleness": result.history.max_staleness(),
+    }
+
+
+def _mode_comparison_rows(studies: dict[str, ComparisonResult]) -> dict:
+    rows = []
+    for mode, comparison in studies.items():
+        for label, result in comparison.results.items():
+            rows.append(
+                _staleness_row(
+                    mode, label, result, comparison.config.target_accuracy
+                )
+            )
+    print(format_table(rows))
+    return {"rows": rows}
+
+
+# --------------------------------------------------------------------------- #
+# Registry entries
+# --------------------------------------------------------------------------- #
+STUDIES = StudyRegistry()
+
+
+def _table1_sweep(config: ExperimentConfig | None, request: StudyRequest) -> list[dict]:
+    from repro.core.convergence import COMPLEXITY_TABLE, round_complexity
+
+    rows = []
+    for epsilon in (1e-2, 1e-3, 1e-4):
+        for method in COMPLEXITY_TABLE:
+            rows.append(
+                {
+                    "epsilon": epsilon,
+                    "method": method,
+                    "predicted_rounds": round_complexity(
+                        method, epsilon, num_clients=1000, num_selected=100,
+                        dissimilarity_b=3.0, gradient_bound_g=3.0,
+                    ),
+                }
+            )
+    return rows
+
+
+def _print_rows(rows: list[dict], request: StudyRequest) -> dict:
+    print(format_table(rows))
+    return {"rows": rows}
+
+
+STUDIES.add(Study(
+    name="table1",
+    description="Table I   — round-complexity predictors (closed form, no training)",
+    build_config=lambda request: None,
+    sweep=_table1_sweep,
+    summarise=_print_rows,
+))
+
+
+STUDIES.add(Study(
+    name="table3",
+    description="Table III — rounds to target accuracy for all algorithms",
+    build_config=lambda request: table3_config(
+        request.dataset, num_clients=request.clients,
+        non_iid=request.non_iid, scale=request.scale, seed=request.seed,
+    ),
+    sweep=lambda config, request: run_comparison(
+        config,
+        filter_plan_compatible(default_algorithms(admm_rho=request.rho), config.mode),
+    ),
+    summarise=lambda comparison, request: _comparison_report(comparison),
+))
+
+
+def _table4_sweep(config: ExperimentConfig, request: StudyRequest):
+    return run_local_epochs_study(
+        config,
+        epoch_counts=tuple(request.option("epochs", (1, 5, 10))),
+        rho=request.rho,
+    )
+
+
+def _table4_report(results: dict[int, SimulationResult], request: StudyRequest) -> dict:
+    rows = [
+        {"E": epochs, "rounds_to_target": result.rounds_to_target,
+         "final_accuracy": result.history.final_accuracy()}
+        for epochs, result in results.items()
+    ]
+    return _print_rows(rows, request)
+
+
+STUDIES.add(Study(
+    name="table4",
+    description="Table IV / Fig. 7 — FedADMM vs local epoch count E",
+    build_config=lambda request: table4_config(
+        request.dataset, non_iid=request.non_iid, scale=request.scale,
+        seed=request.seed,
+    ),
+    sweep=_table4_sweep,
+    summarise=_table4_report,
+    flags=(StudyFlag("--epochs", {"nargs": "+", "type": int,
+                                  "help": "local epoch counts E to sweep"}),),
+))
+
+
+STUDIES.add(Study(
+    name="table5",
+    description="Table V   — rho sensitivity of FedProx vs fixed-rho FedADMM",
+    build_config=lambda request: table5_config(
+        request.dataset, num_clients=request.clients, non_iid=True,
+        scale=request.scale, seed=request.seed,
+    ),
+    sweep=lambda config, request: run_rho_sensitivity_table(
+        {config.name: config},
+        prox_rhos=tuple(request.option("prox_rhos", (0.01, 0.1, 1.0))),
+        admm_rho=request.rho,
+    ),
+    summarise=lambda table, request: {
+        column: _comparison_report(comparison) for column, comparison in table.items()
+    },
+    flags=(StudyFlag("--prox-rhos", {"nargs": "+", "type": float,
+                                     "help": "FedProx rho values to sweep"}),),
+))
+
+
+def _table6_report(comparison: ComparisonResult, request: StudyRequest) -> dict:
+    print(format_table([comparison.partition_stats.as_table_row()]))
+    return _comparison_report(comparison)
+
+
+STUDIES.add(Study(
+    name="table6",
+    description="Table VI / Fig. 10 — imbalanced data volumes",
+    build_config=lambda request: table6_config(
+        request.dataset, scale=request.scale, seed=request.seed
+    ),
+    sweep=lambda config, request: run_imbalanced_study(
+        config,
+        filter_plan_compatible(
+            [AlgorithmSpec("fedadmm", {"rho": request.rho}),
+             AlgorithmSpec("fedavg", {}),
+             AlgorithmSpec("fedprox", {"rho": 0.1}),
+             AlgorithmSpec("scaffold", {})],
+            config.mode,
+        ),
+    ),
+    summarise=_table6_report,
+))
+
+
+def _fig3_sweep(config: ExperimentConfig, request: StudyRequest):
+    populations = request.option(
+        "populations", [config.num_clients, config.num_clients * 2]
+    )
+    return run_scale_sweep(
+        config, populations,
+        [AlgorithmSpec("fedadmm", {"rho": request.rho}), AlgorithmSpec("fedavg", {})],
+    )
+
+
+STUDIES.add(Study(
+    name="fig3",
+    description="Fig. 3/4  — scaling the client population",
+    build_config=lambda request: fig3_config(
+        request.dataset, non_iid=request.non_iid, scale=request.scale,
+        seed=request.seed,
+    ),
+    sweep=_fig3_sweep,
+    summarise=lambda sweeps, request: {
+        str(population): _comparison_report(comparison)
+        for population, comparison in sweeps.items()
+    },
+    flags=(StudyFlag("--populations", {"nargs": "+", "type": int,
+                                       "help": "client populations to sweep"}),),
+))
+
+
+def _fig5_sweep(config: None, request: StudyRequest):
+    # fig5 runs the *pair* of IID and non-IID configs, so it owns config
+    # construction itself (build_config returns None, like table1).
+    config_iid = request.apply_overrides(
+        fig5_config(request.dataset, non_iid=False, scale=request.scale,
+                    seed=request.seed)
+    )
+    config_non_iid = request.apply_overrides(
+        fig5_config(request.dataset, non_iid=True, scale=request.scale,
+                    seed=request.seed)
+    )
+    return run_heterogeneity_comparison(
+        config_iid, config_non_iid,
+        filter_plan_compatible(
+            [AlgorithmSpec("fedadmm", {"rho": request.rho}),
+             AlgorithmSpec("fedavg", {}),
+             AlgorithmSpec("fedprox", {"rho": 0.1}),
+             AlgorithmSpec("scaffold", {})],
+            config_iid.mode,
+        ),
+    )
+
+
+STUDIES.add(Study(
+    name="fig5",
+    description="Fig. 5    — IID vs non-IID adaptability",
+    build_config=lambda request: None,
+    sweep=_fig5_sweep,
+    summarise=lambda outcome, request: {
+        setting: _comparison_report(comparison)
+        for setting, comparison in outcome.items()
+    },
+))
+
+
+STUDIES.add(Study(
+    name="fig6",
+    description="Fig. 6    — server step size study",
+    build_config=lambda request: fig6_config(
+        request.dataset, non_iid=request.non_iid, scale=request.scale,
+        seed=request.seed,
+    ),
+    sweep=lambda config, request: run_server_stepsize_study(
+        config,
+        etas=tuple(request.option("etas", (0.5, 1.0, 1.5))),
+        switch_round=config.num_rounds // 2,
+        rho=request.rho,
+    ),
+    summarise=lambda results, request: _series_report(results),
+    flags=(StudyFlag("--etas", {"nargs": "+", "type": float,
+                                "help": "server step sizes to sweep"}),),
+))
+
+
+STUDIES.add(Study(
+    name="fig8",
+    description="Fig. 8    — local initialisation (warm start vs restart)",
+    build_config=lambda request: fig8_config(
+        request.dataset, non_iid=True, scale=request.scale, seed=request.seed
+    ),
+    sweep=lambda config, request: run_local_init_study(
+        config, etas=tuple(request.option("etas", (1.0, 0.5))), rho=request.rho
+    ),
+    summarise=lambda results, request: _series_report(results),
+    flags=(StudyFlag("--etas", {"nargs": "+", "type": float,
+                                "help": "server step sizes to sweep"}),),
+))
+
+
+STUDIES.add(Study(
+    name="fig9",
+    description="Fig. 9    — dynamic rho schedule",
+    build_config=lambda request: fig9_config(
+        request.dataset, non_iid=True, scale=request.scale, seed=request.seed
+    ),
+    sweep=lambda config, request: run_rho_schedule_study(
+        config,
+        constant_rhos=(request.rho / 3, request.rho),
+        switch_round=config.num_rounds // 2,
+        switch_values=(request.rho / 3, request.rho),
+    ),
+    summarise=lambda results, request: _series_report(results),
+))
+
+
+def _systems_sweep(config: ExperimentConfig, request: StudyRequest):
+    rates = request.option(
+        "dropout_rates",
+        (0.0, config.dropout) if config.dropout > 0 else (0.0,),
+    )
+    return run_systems_study(
+        config,
+        filter_plan_compatible(
+            [AlgorithmSpec("fedadmm", {"rho": request.rho}),
+             AlgorithmSpec("fedavg", {}),
+             AlgorithmSpec("scaffold", {})],
+            config.mode,
+        ),
+        dropout_rates=tuple(rates),
+    )
+
+
+def _systems_report(studies: dict[float, ComparisonResult], request: StudyRequest) -> dict:
+    rows = []
+    for rate, comparison in studies.items():
+        for label, result in comparison.results.items():
+            rows.append(
+                {
+                    "dropout": rate,
+                    "algorithm": label,
+                    "final_accuracy": result.history.final_accuracy(),
+                    "raw_upload_MB": result.ledger.upload_bytes / 1e6,
+                    "wire_upload_MB": result.ledger.upload_wire_bytes / 1e6,
+                    "sim_minutes": result.simulated_seconds / 60.0,
+                    "clients_dropped": result.history.total_dropped(),
+                }
+            )
+    return _print_rows(rows, request)
+
+
+STUDIES.add(Study(
+    name="systems",
+    description="Systems   — dropout/straggler robustness under the client-systems model",
+    build_config=lambda request: systems_config(
+        request.dataset, non_iid=request.non_iid, scale=request.scale,
+        seed=request.seed,
+    ),
+    sweep=_systems_sweep,
+    summarise=_systems_report,
+    flags=(StudyFlag("--dropout-rates", {"nargs": "+", "type": float,
+                                         "help": "dropout rates to sweep"}),),
+))
+
+
+STUDIES.add(Study(
+    name="async",
+    description="Async     — sync vs event-driven async time-to-target under stragglers",
+    build_config=lambda request: async_config(
+        request.dataset, non_iid=request.non_iid, scale=request.scale,
+        seed=request.seed,
+    ),
+    sweep=lambda config, request: run_async_study(
+        config,
+        [AlgorithmSpec("fedadmm", {"rho": request.rho}), AlgorithmSpec("fedavg", {}),
+         AlgorithmSpec("fedprox", {"rho": 0.1})],
+        stop_at_target=True,
+    ),
+    summarise=lambda studies, request: _mode_comparison_rows(studies),
+))
+
+
+def _semisync_report(studies: dict[str, ComparisonResult], request: StudyRequest) -> dict:
+    payload = _mode_comparison_rows(studies)
+    semi = studies.get("semisync")
+    if semi is not None:
+        payload["late_arrivals"] = {
+            label: result.metadata.get("late_arrivals", 0)
+            for label, result in semi.results.items()
+        }
+        payload["round_deadline_s"] = {
+            label: result.metadata.get("round_deadline_s")
+            for label, result in semi.results.items()
+        }
+    return payload
+
+
+STUDIES.add(Study(
+    name="semisync",
+    description="Semisync  — sync vs deadline-bounded semi-sync rounds with late arrivals",
+    build_config=lambda request: semisync_config(
+        request.dataset, non_iid=request.non_iid, scale=request.scale,
+        seed=request.seed,
+    ),
+    sweep=lambda config, request: run_semisync_study(
+        config,
+        [AlgorithmSpec("fedadmm", {"rho": request.rho}),
+         AlgorithmSpec("fedavg", {})],
+        stop_at_target=True,
+    ),
+    summarise=_semisync_report,
+))
+
+
+def run_study(name: str, request: StudyRequest | None = None) -> dict:
+    """Execute one registered study end to end (the library entry point)."""
+    return STUDIES.run(name, request)

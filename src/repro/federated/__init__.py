@@ -1,9 +1,17 @@
-"""Federated-learning runtime: clients, server, sampling, and the round loop.
+"""Federated-learning runtime: clients, server state, plans, and pipelines.
 
-The runtime is algorithm-agnostic.  A :class:`repro.algorithms.base.FederatedAlgorithm`
-plugs into :class:`FederatedSimulation`, which drives the canonical FL round
-of Fig. 1 in the paper: select clients, ship the global model, run local
-training, collect update messages, aggregate, evaluate.
+The runtime is algorithm-agnostic and layered:
+
+* :mod:`repro.federated.state` — explicit server-side state
+  (:class:`ServerState`) and per-round context (:class:`RoundContext`);
+* :mod:`repro.federated.rounds` — the :class:`ClientWorkPipeline` every
+  execution mode drives (seeding, local updates, codec/network/fault
+  application, accounting);
+* :mod:`repro.federated.plans` — :class:`ExecutionPlan` strategies
+  (synchronous lock-step, deadline-bounded semi-synchronous, event-driven
+  asynchronous) over that shared core;
+* :class:`FederatedSimulation` — the composition root a
+  :class:`repro.algorithms.base.FederatedAlgorithm` plugs into.
 """
 
 from repro.federated.local_problem import LocalProblem
@@ -23,22 +31,34 @@ from repro.federated.heterogeneity import (
 from repro.federated.messages import ClientMessage, CommunicationLedger
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.evaluation import evaluate_model, Evaluation
+from repro.federated.state import ServerState, RoundContext
+from repro.federated.rounds import ClientWork, ClientWorkPipeline, finalise_round
+from repro.federated.plans import (
+    ExecutionPlan,
+    SyncPlan,
+    SemiSyncPlan,
+    AsyncPlan,
+    PLAN_REGISTRY,
+)
 from repro.federated.engine import FederatedSimulation, SimulationResult
 from repro.federated.scheduler import AsyncScheduler, ClientCompletion, EventQueue
-from repro.federated.async_engine import (
-    AsyncFederatedSimulation,
+from repro.federated.staleness import (
     ConstantStaleness,
     PolynomialStaleness,
     STALENESS_REGISTRY,
     StaleUpdate,
     StalenessWeighting,
     build_staleness,
+    resolve_staleness,
 )
+from repro.federated.async_engine import AsyncFederatedSimulation
 
 __all__ = [
+    # Clients and local problems
     "LocalProblem",
     "ClientState",
     "build_clients",
+    # Sampling and local-work policies
     "ClientSampler",
     "UniformFractionSampler",
     "BernoulliSampler",
@@ -47,22 +67,38 @@ __all__ = [
     "FixedEpochs",
     "UniformRandomEpochs",
     "PerClientEpochs",
+    # Messages, history, evaluation
     "ClientMessage",
     "CommunicationLedger",
     "RoundRecord",
     "TrainingHistory",
     "evaluate_model",
     "Evaluation",
+    # Server runtime: state, pipeline, plans
+    "ServerState",
+    "RoundContext",
+    "ClientWork",
+    "ClientWorkPipeline",
+    "finalise_round",
+    "ExecutionPlan",
+    "SyncPlan",
+    "SemiSyncPlan",
+    "AsyncPlan",
+    "PLAN_REGISTRY",
+    # Engines (composition roots)
     "FederatedSimulation",
     "SimulationResult",
+    "AsyncFederatedSimulation",
+    # Virtual clock
     "AsyncScheduler",
     "ClientCompletion",
     "EventQueue",
-    "AsyncFederatedSimulation",
+    # Staleness
     "StalenessWeighting",
     "ConstantStaleness",
     "PolynomialStaleness",
     "STALENESS_REGISTRY",
     "StaleUpdate",
     "build_staleness",
+    "resolve_staleness",
 ]

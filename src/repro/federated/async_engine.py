@@ -1,166 +1,45 @@
-"""Event-driven asynchronous federation with staleness-aware aggregation.
+"""Event-driven asynchronous federation: a thin facade over ``AsyncPlan``.
 
-The synchronous engine (:mod:`repro.federated.engine`) advances in
-lock-step rounds: every selected client must report back (or be dropped)
-before the server aggregates, so one straggler stalls the whole round.
-:class:`AsyncFederatedSimulation` removes the lock-step: a virtual clock
-(:mod:`repro.federated.scheduler`) dispatches local updates as clients
-become free, and the server aggregates whenever its bounded buffer fills —
-the buffered asynchronous protocol of FedBuff (Nguyen et al., 2022) adapted
-to this library's algorithm interface.
+Historically this module held a ~350-line engine subclass; the runtime
+decomposition moved the event loop into
+:class:`repro.federated.plans.AsyncPlan`, the staleness policies into
+:mod:`repro.federated.staleness`, and the shared client-work mechanics
+into :mod:`repro.federated.rounds`.  What remains here is the public
+construction surface: :class:`AsyncFederatedSimulation` accepts every
+synchronous constructor argument plus the async knobs and binds an
+:class:`~repro.federated.plans.AsyncPlan` to the shared server runtime.
 
-The moving pieces:
-
-* **Concurrency cap** — at most ``max_concurrency`` clients train at any
-  virtual instant.  Whenever a slot frees up, an idle client is drawn
-  uniformly at random and dispatched with the *current* global model and
-  its version number.
-* **Aggregation buffer** — completed updates accumulate in a bounded
-  buffer; when ``buffer_size`` updates have arrived, the server aggregates
-  them into the next model version.  Stragglers no longer gate progress:
-  fast clients simply fill the buffer first.
-* **Staleness** — an update trained against version ``v`` and aggregated
-  into version ``V`` has staleness ``V - v``.  A
-  :class:`StalenessWeighting` maps staleness to a mixing weight (constant,
-  or polynomial decay ``(1 + s)^{-a}``).  How the weight is *applied* is an
-  algorithm decision (:meth:`repro.algorithms.base.FederatedAlgorithm.aggregate_async`):
-  FedAvg/FedProx damp their model-difference deltas, while FedADMM applies
-  its dual-corrected deltas at full strength — the dual variables already
-  account for the gap between the stale anchor and the current model, which
-  is exactly the robustness property the paper claims.
-
-Faults (:mod:`repro.systems.faults`) carry over: each dispatch may crash
-mid-flight with the configured dropout probability, and with a deadline any
-update whose simulated duration exceeds it is discarded on arrival.  Both
-still charge the download that preceded them.
-
-History compatibility: every aggregation appends one
+``run``/``run_round`` keep their contracts: one "round" is one
+aggregation (one model version), so round budgets, target-accuracy
+stopping, and evaluation cadence behave as in the synchronous plan — only
+the simulated wall-clock per round differs.  Every aggregation appends a
 :class:`~repro.federated.history.RoundRecord` whose ``model_version``,
 ``mean_staleness``, and ``max_staleness`` fields are filled in, so all
-existing rounds-to-target and communication metrics work unchanged on
-asynchronous runs (``simulated_seconds`` is the virtual time between
-aggregations, and cumulative totals are genuine wall-clock).
+rounds-to-target and communication metrics work unchanged on
+asynchronous runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.algorithms.base import LocalTrainingConfig
-from repro.exceptions import ConfigurationError, SimulationError
 from repro.federated.engine import FederatedSimulation
-from repro.federated.history import RoundRecord
-from repro.federated.messages import BYTES_PER_FLOAT, ClientMessage
-from repro.federated.scheduler import AsyncScheduler
+from repro.federated.plans import AsyncPlan, _InFlight  # noqa: F401 (compat)
+from repro.federated.staleness import (  # noqa: F401 (re-exported surface)
+    STALENESS_REGISTRY,
+    ConstantStaleness,
+    PolynomialStaleness,
+    StalenessWeighting,
+    StaleUpdate,
+    build_staleness,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.systems.network import NetworkModel
 
 
-# --------------------------------------------------------------------------- #
-# Staleness weighting policies
-# --------------------------------------------------------------------------- #
-class StalenessWeighting:
-    """Interface: map an update's staleness to a mixing weight in (0, 1]."""
-
-    name = "base"
-
-    def weight(self, staleness: int) -> float:
-        """Mixing weight for an update that is ``staleness`` versions old."""
-        raise NotImplementedError
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}()"
-
-
-class ConstantStaleness(StalenessWeighting):
-    """Every update weighs the same regardless of age (no damping)."""
-
-    name = "constant"
-
-    def weight(self, staleness: int) -> float:
-        return 1.0
-
-
-class PolynomialStaleness(StalenessWeighting):
-    """Polynomial decay ``(1 + s)^{-a}`` (Xie et al., 2019's ``s_a``)."""
-
-    name = "polynomial"
-
-    def __init__(self, exponent: float = 0.5):
-        if exponent < 0:
-            raise ConfigurationError(
-                f"staleness exponent must be non-negative, got {exponent}"
-            )
-        self.exponent = float(exponent)
-
-    def weight(self, staleness: int) -> float:
-        if staleness < 0:
-            raise ConfigurationError(
-                f"staleness must be non-negative, got {staleness}"
-            )
-        return float((1.0 + staleness) ** -self.exponent)
-
-
-STALENESS_REGISTRY: dict[str, type[StalenessWeighting]] = {
-    ConstantStaleness.name: ConstantStaleness,
-    PolynomialStaleness.name: PolynomialStaleness,
-}
-
-
-def build_staleness(name: str, **kwargs) -> StalenessWeighting:
-    """Instantiate a staleness weighting by registry name."""
-    try:
-        staleness_cls = STALENESS_REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown staleness weighting {name!r}; "
-            f"available: {sorted(STALENESS_REGISTRY)}"
-        ) from None
-    return staleness_cls(**kwargs)
-
-
-# --------------------------------------------------------------------------- #
-# Buffered updates
-# --------------------------------------------------------------------------- #
-@dataclass
-class StaleUpdate:
-    """One buffered client update awaiting aggregation.
-
-    ``base_params`` is the exact global-parameter vector the client
-    downloaded (version ``base_version``); algorithms that upload whole
-    models difference against it.  ``staleness`` and ``weight`` are filled
-    in at aggregation time, when the consuming version is known.
-    """
-
-    message: ClientMessage
-    base_params: np.ndarray
-    base_version: int
-    staleness: int = 0
-    weight: float = 1.0
-
-
-@dataclass
-class _InFlight:
-    """Book-keeping attached to a dispatched client's completion event."""
-
-    message: ClientMessage | None  # None = crashed or past-deadline
-    base_params: np.ndarray
-    base_version: int
-    epochs: int
-
-
 class AsyncFederatedSimulation(FederatedSimulation):
     """Event-driven asynchronous variant of :class:`FederatedSimulation`.
-
-    Accepts every synchronous constructor argument plus the async knobs.
-    ``run``/``run_round`` keep their contracts: one "round" is one
-    aggregation (one model version), so round budgets, target-accuracy
-    stopping, and evaluation cadence behave as in the synchronous engine —
-    only the simulated wall-clock per round differs.
 
     A network model is required to drive the virtual clock; when none is
     given a :class:`~repro.systems.network.HomogeneousNetwork` is used (all
@@ -182,306 +61,47 @@ class AsyncFederatedSimulation(FederatedSimulation):
             from repro.systems.network import HomogeneousNetwork
 
             network = HomogeneousNetwork()
-        super().__init__(*args, network=network, **kwargs)
-
-        if not getattr(self.algorithm, "supports_async", False):
-            raise ConfigurationError(
-                f"algorithm {self.algorithm.name!r} does not support "
-                "asynchronous aggregation; use the synchronous engine"
-            )
-        if self.faults is not None and (
-            self.faults.deadline_s == 0 or self.faults.dropout_rate >= 1.0
-        ):
-            # Every dispatch would be discarded (instant deadline) or crash
-            # (certain dropout): the buffer could never fill and the virtual
-            # clock would spin forever.  The synchronous engine handles these
-            # extremes as abandoned rounds; here they are configuration
-            # errors.
-            raise ConfigurationError(
-                "faults that drop every dispatch (dropout_rate=1.0 or "
-                "deadline_s=0) give the asynchronous engine nothing to "
-                "aggregate; use the synchronous engine for that regime"
-            )
-
-        num_clients = len(self.clients)
-        if buffer_size is None:
-            buffer_size = self._default_buffer_size(num_clients)
-        if buffer_size <= 0:
-            raise ConfigurationError(
-                f"buffer_size must be positive, got {buffer_size}"
-            )
-        if buffer_size > num_clients:
-            raise ConfigurationError(
-                f"buffer_size {buffer_size} exceeds the population of "
-                f"{num_clients} clients"
-            )
-        if max_concurrency is None:
-            max_concurrency = min(num_clients, 2 * buffer_size)
-        if max_concurrency <= 0:
-            raise ConfigurationError(
-                f"max_concurrency must be positive, got {max_concurrency}"
-            )
-        max_concurrency = min(max_concurrency, num_clients)
-
-        if staleness is None:
-            staleness = PolynomialStaleness(staleness_exponent)
-        elif isinstance(staleness, str):
-            kwargs_s = (
-                {"exponent": staleness_exponent}
-                if staleness == PolynomialStaleness.name
-                else {}
-            )
-            staleness = build_staleness(staleness, **kwargs_s)
-        if not isinstance(staleness, StalenessWeighting):
-            raise ConfigurationError(
-                f"staleness must be a name or StalenessWeighting, "
-                f"got {type(staleness)}"
-            )
-
-        self.buffer_size = int(buffer_size)
-        self.max_concurrency = int(max_concurrency)
-        self.staleness_policy = staleness
-
-        self._scheduler = AsyncScheduler(num_clients)
-        self._dispatch_rng = self._rng_factory.make("async-dispatch")
-        self._dispatch_count = 0
-        self._version = 0
-        self._buffer: list[StaleUpdate] = []
-        self._last_aggregation_time = 0.0
-        # Per-aggregation-window accumulators (reset after each record).
-        self._window_downloads = 0
-        self._window_dropped: list[int] = []
-        self._window_epochs: list[int] = []
-
-    def _default_buffer_size(self, num_clients: int) -> int:
-        """The synchronous per-round cohort, so each aggregation consumes the
-        same number of uploads in both modes; falls back to a tenth of the
-        population for samplers without a fixed cohort size."""
-        num_selected = getattr(self.sampler, "num_selected", None)
-        if callable(num_selected):
-            return max(1, int(num_selected(num_clients)))
-        return max(1, int(round(0.1 * num_clients)))
+        plan = AsyncPlan(
+            buffer_size=buffer_size,
+            max_concurrency=max_concurrency,
+            staleness=staleness,
+            staleness_exponent=staleness_exponent,
+        )
+        super().__init__(*args, network=network, plan=plan, **kwargs)
 
     # ------------------------------------------------------------------ #
-    # Introspection
+    # Introspection (delegating to the bound plan)
     # ------------------------------------------------------------------ #
+    @property
+    def async_plan(self) -> AsyncPlan:
+        """The bound asynchronous execution plan."""
+        return self.plan
+
+    @property
+    def buffer_size(self) -> int:
+        """Updates aggregated per model version."""
+        return self.plan.buffer_size
+
+    @property
+    def max_concurrency(self) -> int:
+        """Clients training at any simulated instant."""
+        return self.plan.max_concurrency
+
+    @property
+    def staleness_policy(self) -> StalenessWeighting:
+        """How an update's age maps to its mixing weight."""
+        return self.plan.staleness_policy
+
     @property
     def model_version(self) -> int:
         """Number of aggregations applied so far."""
-        return self._version
+        return self.state.model_version
 
     @property
     def virtual_time(self) -> float:
         """Current virtual-clock reading in simulated seconds."""
-        return self._scheduler.now
-
-    def _extra_metadata(self) -> dict:
-        return {
-            "mode": "async",
-            "buffer_size": self.buffer_size,
-            "max_concurrency": self.max_concurrency,
-            "staleness": self.staleness_policy.name,
-            "final_version": self._version,
-            "virtual_time_s": self._scheduler.now,
-        }
-
-    # ------------------------------------------------------------------ #
-    # Dispatching
-    # ------------------------------------------------------------------ #
-    def _fill_dispatch_slots(self) -> None:
-        """Dispatch idle clients until the concurrency cap is reached."""
-        free_slots = self.max_concurrency - self._scheduler.num_in_flight
-        if free_slots <= 0:
-            return
-        idle = np.fromiter(self._scheduler.idle_clients(), dtype=np.int64)
-        count = min(free_slots, idle.size)
-        if count == 0:
-            return
-        chosen = self._dispatch_rng.choice(idle, size=count, replace=False)
-        self._dispatch_wave(sorted(int(c) for c in chosen))
-
-    def _dispatch_wave(self, client_ids: list[int]) -> None:
-        """Dispatch a batch of clients at the current virtual instant.
-
-        Local updates are computed eagerly (their result depends only on
-        the parameters shipped at dispatch) and attached to the completion
-        event, so a pooled executor parallelises each wave.
-        """
-        from repro.systems.executor import LocalUpdateTask
-
-        dispatched: list[tuple[int, float, int, bool]] = []
-        tasks: list[LocalUpdateTask] = []
-        for client_id in client_ids:
-            self._window_downloads += 1
-            epochs = self.local_work.epochs(
-                client_id, self._version, self._work_rng
-            )
-            duration = self._client_round_seconds(client_id, epochs)
-            crashed = bool(
-                self.faults is not None
-                and self.faults.crashes(1, self._fault_rng)[0]
-            )
-            straggled = bool(
-                self.faults is not None
-                and self.faults.deadline_s is not None
-                and duration > self.faults.deadline_s
-            )
-            dropped = crashed or straggled
-            dispatched.append((client_id, duration, epochs, dropped))
-            if dropped:
-                continue
-            seq = self._dispatch_count + len(tasks)
-            tasks.append(
-                LocalUpdateTask(
-                    client_index=client_id,
-                    client=self.clients[client_id],
-                    global_params=self.global_params,
-                    server_state=self.server_state,
-                    config=LocalTrainingConfig(
-                        epochs=epochs,
-                        batch_size=self.batch_size,
-                        learning_rate=self.learning_rate,
-                    ),
-                    round_index=self._version,
-                    # Always per-task integer seeds: async histories are
-                    # identical across serial/thread/process executors.
-                    rng=self._async_task_seed(seq, client_id),
-                )
-            )
-        self._dispatch_count += len(tasks)
-
-        outcomes = self.executor.run_tasks(tasks) if tasks else []
-        messages: dict[int, ClientMessage] = {}
-        for task, outcome in zip(tasks, outcomes):
-            self._merge_client(task.client_index, outcome.client)
-            messages[task.client_index] = outcome.message
-
-        for client_id, duration, epochs, dropped in dispatched:
-            self._scheduler.dispatch(
-                client_id,
-                duration,
-                payload=_InFlight(
-                    message=None if dropped else messages[client_id],
-                    base_params=self.global_params,
-                    base_version=self._version,
-                    epochs=epochs,
-                ),
-            )
+        return self.plan.virtual_time
 
     def _async_task_seed(self, dispatch_seq: int, client_id: int) -> int:
         """Deterministic per-dispatch seed, independent of the executor."""
-        label = f"async-training/dispatch-{dispatch_seq}/client-{client_id}"
-        return int(self._rng_factory.make(label).integers(0, 2**62))
-
-    # ------------------------------------------------------------------ #
-    # One aggregation ("round")
-    # ------------------------------------------------------------------ #
-    #: Consecutive dropped deliveries tolerated before the engine concludes
-    #: the fault configuration can never fill the buffer (e.g. a deadline
-    #: below every client's possible round time).
-    _MAX_CONSECUTIVE_DROPS = 10_000
-
-    def run_round(self) -> RoundRecord:
-        """Advance the virtual clock until the next aggregation completes."""
-        self._fill_dispatch_slots()
-        consecutive_drops = 0
-        while len(self._buffer) < self.buffer_size:
-            if not self._scheduler.has_pending():
-                raise SimulationError(
-                    "asynchronous engine stalled: no client in flight and "
-                    "the aggregation buffer is not full"
-                )
-            event = self._scheduler.next_completion()
-            inflight: _InFlight = event.payload
-            if inflight.message is None:
-                self._window_dropped.append(event.client_id)
-                consecutive_drops += 1
-                if consecutive_drops >= self._MAX_CONSECUTIVE_DROPS:
-                    raise SimulationError(
-                        f"{consecutive_drops} consecutive dispatches were "
-                        "dropped without one delivery; the fault "
-                        "configuration can never fill the aggregation buffer"
-                    )
-            else:
-                consecutive_drops = 0
-                self._buffer.append(
-                    StaleUpdate(
-                        message=inflight.message,
-                        base_params=inflight.base_params,
-                        base_version=inflight.base_version,
-                    )
-                )
-                self._window_epochs.append(inflight.epochs)
-            self._fill_dispatch_slots()
-        return self._aggregate_buffer()
-
-    def _aggregate_buffer(self) -> RoundRecord:
-        """Mix the buffered updates into the next model version."""
-        # run_round stops delivering the moment the buffer fills, so the
-        # whole buffer is exactly one aggregation's worth.
-        updates, self._buffer = self._buffer, []
-        for update in updates:
-            update.staleness = self._version - update.base_version
-            update.weight = self.staleness_policy.weight(update.staleness)
-
-        dim = self.global_params.size
-        uploads = sum(u.message.upload_floats for u in updates)
-        downloads = self._window_downloads * self.algorithm.download_floats(dim)
-        download_wire_bytes = downloads * BYTES_PER_FLOAT
-        if self.transport is not None:
-            upload_wire_bytes = 0
-            for update in updates:
-                update.message, wire = self.transport.compress_message(
-                    update.message, self._transport_rng
-                )
-                upload_wire_bytes += wire
-        else:
-            upload_wire_bytes = uploads * BYTES_PER_FLOAT
-
-        self.global_params = self.algorithm.aggregate_async(
-            self.global_params,
-            self.server_state,
-            updates,
-            len(self.clients),
-            self._version,
-        )
-        self._version += 1
-
-        self.ledger.record_round(
-            uploads, downloads, upload_wire_bytes, download_wire_bytes
-        )
-        self._rounds_run += 1
-        evaluation = self._maybe_evaluate()
-
-        stalenesses = [u.staleness for u in updates]
-        now = self._scheduler.now
-        record = RoundRecord(
-            round_index=self._rounds_run,
-            test_accuracy=None if evaluation is None else evaluation.accuracy,
-            test_loss=None if evaluation is None else evaluation.loss,
-            train_loss=float(
-                np.mean([u.message.train_loss for u in updates])
-            ),
-            # In the async engine "selected" means dispatched-and-resolved in
-            # this aggregation window: the aggregated updates plus the
-            # dispatches that crashed or outran the deadline.
-            num_selected=len(updates) + len(self._window_dropped),
-            upload_floats=uploads,
-            download_floats=downloads,
-            mean_local_epochs=(
-                float(np.mean(self._window_epochs)) if self._window_epochs else 0.0
-            ),
-            upload_wire_bytes=upload_wire_bytes,
-            download_wire_bytes=download_wire_bytes,
-            simulated_seconds=now - self._last_aggregation_time,
-            dropped_clients=tuple(self._window_dropped),
-            model_version=self._version,
-            mean_staleness=float(np.mean(stalenesses)),
-            max_staleness=int(max(stalenesses)),
-        )
-        self.history.append(record)
-        self._last_aggregation_time = now
-        self._window_downloads = 0
-        self._window_dropped = []
-        self._window_epochs = []
-        return record
+        return self.plan.task_seed(self, dispatch_seq, client_id)

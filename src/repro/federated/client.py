@@ -10,7 +10,6 @@ the runtime knowing the details.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 

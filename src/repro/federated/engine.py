@@ -1,25 +1,24 @@
-"""The federated simulation engine: the round loop of Fig. 1 / Algorithm 1.
+"""The federated server runtime: state + pipeline + execution plan.
 
-The engine is algorithm-agnostic.  Per round it
+:class:`FederatedSimulation` is the composition root of the federated
+runtime.  It no longer hard-codes a round loop; instead it wires together
+three explicit pieces and delegates:
 
-1. samples the active set ``S_t`` with the configured
-   :class:`repro.federated.sampler.ClientSampler`,
-2. asks the system-heterogeneity policy how many local epochs each selected
-   client runs this round,
-3. applies the client-systems model (:mod:`repro.systems`): mid-round
-   crashes and deadline stragglers are dropped before any local work runs,
-   and per-client network/compute profiles yield a simulated round duration,
-4. runs the algorithm's ``local_update`` for every surviving client through
-   the configured executor (serially, or on a thread/process pool),
-5. round-trips the uploads through the transport codec (lossy compression
-   perturbs aggregation exactly as on a real wire) and records
-   post-compression wire bytes,
-6. calls the algorithm's ``aggregate`` to produce the next global model,
-7. records communication costs and (periodically) evaluates the global model
-   on the held-out test set.
+* a :class:`~repro.federated.state.ServerState` holding every mutable
+  server-side quantity (global parameters, model version, round counter,
+  evaluation bookkeeping),
+* a :class:`~repro.federated.rounds.ClientWorkPipeline` owning the
+  client-side mechanics shared by every execution mode (seeding, local
+  updates through the configured executor, codec/network/fault
+  application, ledger and timing accounting), and
+* an :class:`~repro.federated.plans.ExecutionPlan` strategy deciding who
+  trains when and when the server aggregates — lock-step synchronous by
+  default, with semi-synchronous and fully asynchronous plans available
+  (:mod:`repro.federated.plans`).
 
-Every systems component is optional; with none configured the engine is
-bit-identical to the idealised synchronous loop of the seed reproduction.
+Every systems component is optional; with none configured the default
+synchronous plan is bit-identical to the idealised round loop of the seed
+reproduction (pinned by ``tests/test_regression_sync_golden.py``).
 """
 
 from __future__ import annotations
@@ -29,20 +28,18 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.algorithms.base import FederatedAlgorithm, LocalTrainingConfig
+from repro.algorithms.base import FederatedAlgorithm
 from repro.datasets.base import Dataset
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import ConfigurationError
 from repro.federated.client import ClientState
 from repro.federated.evaluation import Evaluation, evaluate_model
 from repro.federated.heterogeneity import FixedEpochs, LocalWorkPolicy
 from repro.federated.history import RoundRecord, TrainingHistory
-from repro.federated.local_problem import LocalProblem
-from repro.federated.messages import (
-    BYTES_PER_FLOAT,
-    ClientMessage,
-    CommunicationLedger,
-)
+from repro.federated.messages import CommunicationLedger
+from repro.federated.plans import ExecutionPlan, SyncPlan
+from repro.federated.rounds import ClientWorkPipeline
 from repro.federated.sampler import ClientSampler, UniformFractionSampler
+from repro.federated.state import ServerState
 from repro.nn.losses import CrossEntropyLoss, Loss
 from repro.nn.module import Module
 from repro.utils.rng import RngFactory
@@ -50,7 +47,7 @@ from repro.utils.rng import RngFactory
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
     from repro.systems.executor import ClientExecutor
     from repro.systems.faults import FaultInjector
-    from repro.systems.network import ClientSystemProfile, NetworkModel
+    from repro.systems.network import NetworkModel
     from repro.systems.transport import Transport
 
 
@@ -80,7 +77,7 @@ class SimulationResult:
 
 
 class FederatedSimulation:
-    """Drives one federated training run for a given algorithm."""
+    """Drives one federated training run for a given algorithm and plan."""
 
     def __init__(
         self,
@@ -101,6 +98,7 @@ class FederatedSimulation:
         network: NetworkModel | None = None,
         faults: FaultInjector | None = None,
         executor: ClientExecutor | None = None,
+        plan: ExecutionPlan | None = None,
     ):
         if not clients:
             raise ConfigurationError("FederatedSimulation needs at least one client")
@@ -129,284 +127,124 @@ class FederatedSimulation:
                 "a round deadline needs a network model to compute client "
                 "round times; pass network= alongside faults.deadline_s"
             )
-        self.transport = transport
-        self.network = network
-        self.faults = faults
-        self.executor = executor if executor is not None else SerialExecutor()
 
         self._rng_factory = RngFactory(seed)
         self._sampling_rng = self._rng_factory.make("client-sampling")
         self._work_rng = self._rng_factory.make("local-work")
-        self._training_rng = self._rng_factory.make("local-training")
-        self._fault_rng = self._rng_factory.make("faults")
-        self._transport_rng = self._rng_factory.make("transport")
 
-        self._profiles: list[ClientSystemProfile] | None = None
-        if network is not None:
-            self._profiles = network.profiles(
-                len(clients), self._rng_factory.make("network")
-            )
+        self.pipeline = ClientWorkPipeline(
+            algorithm=algorithm,
+            model=model,
+            loss=self.loss,
+            clients=clients,
+            executor=executor if executor is not None else SerialExecutor(),
+            rng_factory=self._rng_factory,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            transport=transport,
+            network=network,
+            faults=faults,
+        )
 
-        self.global_params = model.get_flat_params()
-        self.server_state = algorithm.init_server_state(
-            self.global_params, len(clients)
+        initial_params = model.get_flat_params()
+        self.state = ServerState(
+            params=initial_params,
+            algorithm_state=algorithm.init_server_state(
+                initial_params, len(clients)
+            ),
         )
         if eager_client_init:
             for client in clients:
-                algorithm.init_client_state(client, self.global_params)
+                algorithm.init_client_state(client, initial_params)
 
-        self._problems = [
-            LocalProblem(model=self.model, loss=self.loss, dataset=client.dataset)
-            for client in clients
-        ]
-        # Ship the immutable per-client problems to the executor once; for
-        # process pools this is what reaches the workers at creation, so the
-        # per-round task payloads stay small.
-        self.executor.prime(self._problems, self.algorithm)
         self.history = TrainingHistory(algorithm=algorithm.name)
         self.ledger = CommunicationLedger()
-        self._rounds_run = 0
-        self._last_evaluation: Evaluation | None = None
-        self._last_evaluation_round = -1
+
+        self.plan = plan if plan is not None else SyncPlan()
+        if self.plan.bound:
+            raise ConfigurationError(
+                "ExecutionPlan instances are single-use (they carry per-run "
+                "schedulers, buffers, and derived deadlines); construct a "
+                "fresh plan for each simulation"
+            )
+        self.plan.bind(self)
+        self.plan.bound = True
 
     # ------------------------------------------------------------------ #
-    # Systems model
+    # Compatibility accessors (the pre-decomposition attribute surface)
     # ------------------------------------------------------------------ #
-    def _client_round_seconds(self, client_id: int, epochs: int) -> float:
-        """Simulated seconds for one client's full participation this round."""
-        profile = self._profiles[client_id]
-        dim = self.global_params.size
-        download_bytes = self.algorithm.download_floats(dim) * BYTES_PER_FLOAT
-        if self.transport is not None:
-            # The transport compresses each payload vector separately, so
-            # per-vector overheads (norms, scales) are paid once per vector.
-            # An algorithm that overrides upload_floats without
-            # upload_vector_dims falls back to one concatenated vector.
-            vector_dims = self.algorithm.upload_vector_dims(dim)
-            if sum(vector_dims) != self.algorithm.upload_floats(dim):
-                vector_dims = (self.algorithm.upload_floats(dim),)
-            upload_bytes = sum(
-                self.transport.upload_wire_bytes(vec_dim)
-                for vec_dim in vector_dims
-            )
-        else:
-            upload_bytes = self.algorithm.upload_floats(dim) * BYTES_PER_FLOAT
-        return profile.round_seconds(
-            download_bytes=download_bytes,
-            upload_bytes=upload_bytes,
-            num_samples=self.clients[client_id].num_samples,
-            epochs=epochs,
-        )
+    @property
+    def global_params(self) -> np.ndarray:
+        """The current global parameter vector (lives in ``state``)."""
+        return self.state.params
 
-    def _simulate_systems(
-        self, selected: np.ndarray, epochs_by_client: dict[int, int]
-    ) -> tuple[list[int], list[int], float]:
-        """Apply faults and the time model to the selected set.
+    @global_params.setter
+    def global_params(self, params: np.ndarray) -> None:
+        self.state.params = params
 
-        Returns (surviving client ids, dropped client ids, simulated round
-        seconds).  Without a network model round time is 0.0; without a fault
-        injector every selected client survives.
-        """
-        selected_ids = [int(c) for c in selected]
-        if self.faults is None and self.network is None:
-            return selected_ids, [], 0.0
+    @property
+    def server_state(self) -> dict[str, np.ndarray]:
+        """The algorithm's persistent server state (lives in ``state``)."""
+        return self.state.algorithm_state
 
-        if self.faults is not None:
-            crashed = self.faults.crashes(len(selected_ids), self._fault_rng)
-        else:
-            crashed = np.zeros(len(selected_ids), dtype=bool)
+    @server_state.setter
+    def server_state(self, value: dict[str, np.ndarray]) -> None:
+        self.state.algorithm_state = value
 
-        if self._profiles is not None:
-            times = np.array(
-                [
-                    self._client_round_seconds(cid, epochs_by_client[cid])
-                    for cid in selected_ids
-                ]
-            )
-        else:
-            times = np.zeros(len(selected_ids))
+    @property
+    def executor(self) -> ClientExecutor:
+        return self.pipeline.executor
 
-        if self.faults is not None and self._profiles is not None:
-            straggled = self.faults.stragglers(times)
-        else:
-            straggled = np.zeros(len(selected_ids), dtype=bool)
+    @property
+    def transport(self) -> Transport | None:
+        return self.pipeline.transport
 
-        dropped_mask = crashed | straggled
-        survivors = [cid for cid, out in zip(selected_ids, dropped_mask) if not out]
-        dropped = [cid for cid, out in zip(selected_ids, dropped_mask) if out]
+    @property
+    def network(self) -> NetworkModel | None:
+        return self.pipeline.network
 
-        if self._profiles is None:
-            round_seconds = 0.0
-        elif straggled.any():
-            # The server holds the round open until its deadline when any
-            # straggler misses it.
-            round_seconds = float(self.faults.deadline_s)
-        elif survivors:
-            round_seconds = float(times[~dropped_mask].max())
-        else:
-            # Everyone crashed: the server waits for the slowest client to
-            # have timed out before abandoning the round.
-            round_seconds = float(times.max())
-        return survivors, dropped, round_seconds
+    @property
+    def faults(self) -> FaultInjector | None:
+        return self.pipeline.faults
 
-    def _task_seed(self, round_index: int, client_id: int) -> int:
-        """Deterministic per-(round, client) seed for isolated executors."""
-        label = f"local-training/round-{round_index}/client-{client_id}"
-        return int(self._rng_factory.make(label).integers(0, 2**62))
+    @property
+    def _rounds_run(self) -> int:
+        return self.state.rounds_run
 
-    def _merge_client(self, client_index: int, updated: ClientState) -> None:
-        """Fold a worker-process copy of a client back into the population."""
-        original = self.clients[client_index]
-        if updated is original:
-            return
-        original.variables = updated.variables
-        original.rounds_participated = updated.rounds_participated
-        original.local_work_done = updated.local_work_done
-
+    # ------------------------------------------------------------------ #
+    # Evaluation cadence
+    # ------------------------------------------------------------------ #
     def _maybe_evaluate(self) -> Evaluation | None:
         """Evaluate the global model if the eval cadence says this round should.
 
-        Shared by the synchronous and asynchronous engines; also remembers
-        the evaluation so the end-of-run report can reuse it when the last
-        round already evaluated these exact parameters.
+        Shared by every execution plan; also remembers the evaluation so
+        the end-of-run report can reuse it when the last round already
+        evaluated these exact parameters.
         """
+        state = self.state
         evaluate_now = (
-            self._rounds_run % self.eval_every == 0 or self._rounds_run == 1
+            state.rounds_run % self.eval_every == 0 or state.rounds_run == 1
         )
         if not evaluate_now or len(self.test_dataset) == 0:
             return None
         evaluation = evaluate_model(
             self.model,
             self.loss,
-            self.global_params,
+            state.params,
             self.test_dataset,
             batch_size=self.eval_batch_size,
         )
-        self._last_evaluation = evaluation
-        self._last_evaluation_round = self._rounds_run
+        state.last_evaluation = evaluation
+        state.last_evaluation_round = state.rounds_run
         return evaluation
 
     # ------------------------------------------------------------------ #
-    # One round
+    # One round / full run
     # ------------------------------------------------------------------ #
     def run_round(self) -> RoundRecord:
-        """Execute a single communication round and return its record."""
-        round_index = self._rounds_run
-        num_clients = len(self.clients)
-        selected = self.sampler.sample(round_index, num_clients, self._sampling_rng)
-        if selected.size == 0:
-            raise SimulationError(f"round {round_index}: sampler selected no clients")
+        """Execute a single round under the configured execution plan."""
+        return self.plan.run_round(self)
 
-        dim = self.global_params.size
-        epochs_by_client = {
-            int(client_id): self.local_work.epochs(
-                int(client_id), round_index, self._work_rng
-            )
-            for client_id in selected
-        }
-        survivors, dropped, round_seconds = self._simulate_systems(
-            selected, epochs_by_client
-        )
-
-        from repro.systems.executor import LocalUpdateTask
-
-        tasks: list[LocalUpdateTask] = []
-        for client_index in survivors:
-            config = LocalTrainingConfig(
-                epochs=epochs_by_client[client_index],
-                batch_size=self.batch_size,
-                learning_rate=self.learning_rate,
-            )
-            rng = (
-                self._task_seed(round_index, client_index)
-                if self.executor.isolated
-                else self._training_rng
-            )
-            tasks.append(
-                LocalUpdateTask(
-                    client_index=client_index,
-                    client=self.clients[client_index],
-                    global_params=self.global_params,
-                    server_state=self.server_state,
-                    config=config,
-                    round_index=round_index,
-                    rng=rng,
-                )
-            )
-        outcomes = self.executor.run_tasks(tasks)
-
-        messages: list[ClientMessage] = []
-        epochs_used: list[int] = []
-        for client_index, outcome in zip(survivors, outcomes):
-            self._merge_client(client_index, outcome.client)
-            messages.append(outcome.message)
-            epochs_used.append(outcome.message.local_epochs)
-
-        uploads = sum(msg.upload_floats for msg in messages)
-        # Every selected client downloaded the model, including those that
-        # later crashed or straggled; only survivors upload.
-        downloads = int(selected.size) * self.algorithm.download_floats(dim)
-        download_wire_bytes = downloads * BYTES_PER_FLOAT
-        if self.transport is not None:
-            upload_wire_bytes = 0
-            compressed: list[ClientMessage] = []
-            for message in messages:
-                message, wire = self.transport.compress_message(
-                    message, self._transport_rng
-                )
-                compressed.append(message)
-                upload_wire_bytes += wire
-            messages = compressed
-        else:
-            upload_wire_bytes = uploads * BYTES_PER_FLOAT
-
-        if messages:
-            self.global_params = self.algorithm.aggregate(
-                self.global_params,
-                self.server_state,
-                messages,
-                num_clients,
-                round_index,
-            )
-        # With no survivor the round is abandoned: the global model is
-        # unchanged, but the communication and time costs were still paid.
-
-        self.ledger.record_round(
-            uploads, downloads, upload_wire_bytes, download_wire_bytes
-        )
-        self._rounds_run += 1
-
-        evaluation = self._maybe_evaluate()
-
-        record = RoundRecord(
-            round_index=self._rounds_run,
-            test_accuracy=None if evaluation is None else evaluation.accuracy,
-            test_loss=None if evaluation is None else evaluation.loss,
-            train_loss=(
-                float(np.mean([msg.train_loss for msg in messages]))
-                if messages
-                else float("nan")
-            ),
-            num_selected=int(selected.size),
-            upload_floats=uploads,
-            download_floats=downloads,
-            mean_local_epochs=(
-                float(np.mean(epochs_used)) if epochs_used else 0.0
-            ),
-            upload_wire_bytes=upload_wire_bytes,
-            download_wire_bytes=download_wire_bytes,
-            simulated_seconds=round_seconds,
-            dropped_clients=tuple(dropped),
-            # Synchronous lock-step: the model version is the round count and
-            # every aggregated update is fresh (staleness zero).
-            model_version=self._rounds_run,
-        )
-        self.history.append(record)
-        return record
-
-    # ------------------------------------------------------------------ #
-    # Full run
-    # ------------------------------------------------------------------ #
     def run(
         self,
         num_rounds: int,
@@ -432,19 +270,19 @@ class FederatedSimulation:
                 if reached and stop_at_target:
                     break
         finally:
-            self.executor.close()
+            self.pipeline.close()
 
         final_evaluation = None
         if len(self.test_dataset) > 0:
-            if self._last_evaluation_round == self._rounds_run:
+            if self.state.evaluation_is_current():
                 # The last executed round already evaluated these exact
                 # parameters; reuse it instead of re-running evaluate_model.
-                final_evaluation = self._last_evaluation
+                final_evaluation = self.state.last_evaluation
             else:
                 final_evaluation = evaluate_model(
                     self.model,
                     self.loss,
-                    self.global_params,
+                    self.state.params,
                     self.test_dataset,
                     batch_size=self.eval_batch_size,
                 )
@@ -456,10 +294,10 @@ class FederatedSimulation:
         return SimulationResult(
             algorithm=self.algorithm.name,
             history=self.history,
-            final_params=np.array(self.global_params, copy=True),
+            final_params=np.array(self.state.params, copy=True),
             ledger=self.ledger,
             final_evaluation=final_evaluation,
-            rounds_run=self._rounds_run,
+            rounds_run=self.state.rounds_run,
             target_accuracy=target_accuracy,
             rounds_to_target=rounds_to_target,
             metadata={
@@ -468,10 +306,6 @@ class FederatedSimulation:
                 "learning_rate": self.learning_rate,
                 "executor": type(self.executor).__name__,
                 "codec": None if self.transport is None else self.transport.codec.name,
-                **self._extra_metadata(),
+                **self.plan.extra_metadata(self),
             },
         )
-
-    def _extra_metadata(self) -> dict:
-        """Engine-specific additions to the result metadata."""
-        return {}

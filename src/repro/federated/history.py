@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 import numpy as np
 
@@ -31,12 +30,15 @@ class RoundRecord:
     download_wire_bytes: int = 0
     simulated_seconds: float = 0.0
     dropped_clients: tuple[int, ...] = ()
-    # Asynchronous-engine fields (see repro.federated.async_engine).  In the
-    # synchronous engine the model version equals the round index and every
-    # aggregated update is fresh, so the defaults below mean "synchronous".
+    # Buffered-plan fields (see repro.federated.plans).  In the synchronous
+    # plan the model version equals the round index and every aggregated
+    # update is fresh, so the defaults below mean "synchronous".
     model_version: int = 0
     mean_staleness: float = 0.0
     max_staleness: int = 0
+    # Semi-synchronous plan: the round's aggregation deadline in simulated
+    # seconds (None for plans without a per-round deadline).
+    deadline_s: float | None = None
 
     @property
     def num_dropped(self) -> int:

@@ -1,0 +1,679 @@
+"""Execution plans: the server's round-loop strategies.
+
+A plan decides *who trains when* and *when the server aggregates*; all of
+the client-side mechanics (seeding, local updates, codec/network/fault
+application, ledger accounting) are delegated to the shared
+:class:`~repro.federated.rounds.ClientWorkPipeline`, and all mutable
+server state lives in an explicit
+:class:`~repro.federated.state.ServerState`.  Three strategies ship:
+
+* :class:`SyncPlan` — the paper's lock-step round (Fig. 1 / Algorithm 1):
+  every selected client must report back (or be dropped) before the
+  server aggregates, so one straggler stalls the whole round.
+* :class:`SemiSyncPlan` — deadline-bounded rounds: the server dispatches
+  a cohort, aggregates whatever has arrived by the round deadline, and
+  lets stragglers deliver into *later* rounds as stale updates weighted
+  FedBuff-style.
+* :class:`AsyncPlan` — fully event-driven: a virtual clock dispatches
+  clients as they become free and the server aggregates whenever its
+  bounded buffer fills (FedBuff, Nguyen et al., 2022).
+
+Plans are deliberately thin: adding a new execution mode means writing one
+subclass with a ``run_round`` and binding it to a
+:class:`~repro.federated.engine.FederatedSimulation` — no engine subclass,
+no copied pipeline code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.federated.history import RoundRecord
+from repro.federated.messages import BYTES_PER_FLOAT, ClientMessage
+from repro.federated.rounds import ClientWork, finalise_round
+from repro.federated.scheduler import AsyncScheduler
+from repro.federated.staleness import (
+    StalenessWeighting,
+    StaleUpdate,
+    resolve_staleness,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federated.engine import FederatedSimulation
+
+
+@dataclass
+class _InFlight:
+    """Book-keeping attached to a dispatched client's completion event."""
+
+    message: ClientMessage | None  # None = crashed or past-deadline
+    base_params: np.ndarray
+    base_version: int
+    epochs: int
+    #: Round the dispatch happened in (semi-sync: detects late arrivals
+    #: even when the intervening rounds were abandoned and the model
+    #: version — hence staleness — did not advance).
+    dispatch_round: int = 0
+
+
+class ExecutionPlan:
+    """Interface: one server-side round-loop strategy.
+
+    ``bind`` is called exactly once, at the end of engine construction; it
+    validates the engine/plan combination and allocates any plan-private
+    state (schedulers, buffers).  ``run_round`` executes one round — one
+    appended :class:`~repro.federated.history.RoundRecord` — against the
+    engine's :class:`~repro.federated.state.ServerState` and pipeline.
+    """
+
+    name = "base"
+
+    #: Set by the engine after a successful bind.  Plans carry per-run
+    #: state (schedulers, buffers, derived deadlines), so an instance is
+    #: single-use: binding it to a second engine would silently reuse the
+    #: first run's state.
+    bound = False
+
+    def bind(self, engine: FederatedSimulation) -> None:
+        """Validate against the engine and allocate plan-private state."""
+
+    def run_round(self, engine: FederatedSimulation) -> RoundRecord:
+        """Execute one round and return its record."""
+        raise NotImplementedError
+
+    def extra_metadata(self, engine: FederatedSimulation) -> dict:
+        """Plan-specific additions to the end-of-run result metadata."""
+        return {}
+
+    def _require_async_support(self, engine: FederatedSimulation) -> None:
+        """Buffered plans mix stale updates; the algorithm must opt in."""
+        if not engine.algorithm.supports_plan(self.name):
+            raise ConfigurationError(
+                f"algorithm {engine.algorithm.name!r} does not support "
+                "asynchronous aggregation; use the synchronous engine"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Synchronous lock-step
+# --------------------------------------------------------------------------- #
+class SyncPlan(ExecutionPlan):
+    """Lock-step rounds: sample, train the cohort, aggregate, evaluate."""
+
+    name = "sync"
+
+    def run_round(self, engine: FederatedSimulation) -> RoundRecord:
+        state, pipeline = engine.state, engine.pipeline
+        round_index = state.rounds_run
+        num_clients = len(engine.clients)
+        selected = engine.sampler.sample(
+            round_index, num_clients, engine._sampling_rng
+        )
+        if selected.size == 0:
+            raise SimulationError(
+                f"round {round_index}: sampler selected no clients"
+            )
+
+        dim = state.params.size
+        epochs_by_client = {
+            int(client_id): engine.local_work.epochs(
+                int(client_id), round_index, engine._work_rng
+            )
+            for client_id in selected
+        }
+        ctx = pipeline.simulate_systems(round_index, selected, epochs_by_client)
+
+        work: list[ClientWork] = []
+        for client_index in ctx.survivors:
+            rng = (
+                pipeline.seed_from_label(
+                    f"local-training/round-{round_index}/client-{client_index}"
+                )
+                if pipeline.executor.isolated
+                else pipeline.training_rng
+            )
+            work.append(
+                ClientWork(
+                    client_index=client_index,
+                    epochs=epochs_by_client[client_index],
+                    round_index=round_index,
+                    rng=rng,
+                )
+            )
+        outcomes = pipeline.local_updates(state.params, state.algorithm_state, work)
+        messages = [outcome.message for outcome in outcomes]
+        epochs_used = [message.local_epochs for message in messages]
+
+        uploads = sum(message.upload_floats for message in messages)
+        # Every selected client downloaded the model, including those that
+        # later crashed or straggled; only survivors upload.
+        downloads = ctx.num_selected * engine.algorithm.download_floats(dim)
+        messages, upload_wire_bytes = pipeline.compress(messages)
+
+        if messages:
+            state.params = engine.algorithm.aggregate(
+                state.params,
+                state.algorithm_state,
+                messages,
+                num_clients,
+                round_index,
+            )
+        # With no survivor the round is abandoned: the global model is
+        # unchanged, but the communication and time costs were still paid.
+
+        state.rounds_run += 1
+        # Synchronous lock-step: the model version is the round count and
+        # every aggregated update is fresh (staleness zero).
+        state.model_version = state.rounds_run
+        evaluation = engine._maybe_evaluate()
+        return finalise_round(
+            engine,
+            evaluation=evaluation,
+            train_losses=[message.train_loss for message in messages],
+            num_selected=ctx.num_selected,
+            uploads=uploads,
+            downloads=downloads,
+            upload_wire_bytes=upload_wire_bytes,
+            download_wire_bytes=downloads * BYTES_PER_FLOAT,
+            epochs_used=epochs_used,
+            simulated_seconds=ctx.round_seconds,
+            dropped=ctx.dropped,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Semi-synchronous: deadline-bounded rounds with late arrivals
+# --------------------------------------------------------------------------- #
+class SemiSyncPlan(ExecutionPlan):
+    """Deadline-bounded rounds that aggregate whatever arrived in time.
+
+    Each round the server samples a cohort among the currently idle
+    clients, dispatches them with the current model version, and closes
+    the round at ``now + round_deadline_s``: every completion that lands
+    inside the window — including stragglers dispatched in *earlier*
+    rounds — is aggregated, weighted by its staleness (FedBuff-style),
+    while anything still in flight keeps running and will land in a later
+    round.  With no deadline given, the plan derives one from the network
+    model: ``deadline_factor`` times the population's median predicted
+    round duration, so roughly half the cohort makes each round.
+    """
+
+    name = "semisync"
+
+    def __init__(
+        self,
+        round_deadline_s: float | None = None,
+        deadline_factor: float = 1.0,
+        staleness: StalenessWeighting | str | None = None,
+        staleness_exponent: float = 0.5,
+    ):
+        if round_deadline_s is not None and round_deadline_s <= 0:
+            raise ConfigurationError(
+                f"round_deadline_s must be positive, got {round_deadline_s}"
+            )
+        if deadline_factor <= 0:
+            raise ConfigurationError(
+                f"deadline_factor must be positive, got {deadline_factor}"
+            )
+        self.round_deadline_s = round_deadline_s
+        self.deadline_factor = deadline_factor
+        self.staleness_policy = resolve_staleness(staleness, staleness_exponent)
+        self._scheduler: AsyncScheduler | None = None
+        self.late_arrivals = 0  # deliveries that missed their dispatch round
+
+    def bind(self, engine: FederatedSimulation) -> None:
+        self._require_async_support(engine)
+        if engine.pipeline.profiles is None:
+            raise ConfigurationError(
+                "the semi-synchronous plan needs a network model to drive "
+                "its round deadline; pass network= (HomogeneousNetwork "
+                "works for homogeneous populations)"
+            )
+        self._scheduler = AsyncScheduler(len(engine.clients))
+        if self.round_deadline_s is None:
+            times = sorted(
+                engine.pipeline.client_round_seconds(
+                    client_id, engine.local_work.max_epochs
+                )
+                for client_id in range(len(engine.clients))
+            )
+            self.round_deadline_s = self.deadline_factor * float(
+                np.median(times)
+            )
+
+    def run_round(self, engine: FederatedSimulation) -> RoundRecord:
+        state, pipeline = engine.state, engine.pipeline
+        scheduler = self._scheduler
+        round_index = state.rounds_run
+        selected = engine.sampler.sample(
+            round_index, len(engine.clients), engine._sampling_rng
+        )
+        if selected.size == 0:
+            raise SimulationError(
+                f"round {round_index}: sampler selected no clients"
+            )
+        # Clients still working on an earlier round's dispatch keep running;
+        # only idle ones take new work this round.
+        cohort = [int(c) for c in selected if scheduler.is_idle(int(c))]
+        if not cohort and not scheduler.has_pending():
+            raise SimulationError(
+                "semi-synchronous round stalled: every sampled client is "
+                "busy and nothing is in flight"
+            )
+
+        work, dispatch_meta = [], []
+        for client_id in cohort:
+            epochs = engine.local_work.epochs(
+                client_id, round_index, engine._work_rng
+            )
+            duration = pipeline.client_round_seconds(client_id, epochs)
+            # The fault model applies exactly as in the other plans: a
+            # crash or a duration past faults.deadline_s voids the upload
+            # (the download was still paid).  The *round* deadline is a
+            # separate knob — slow-but-healthy clients deliver late.
+            crashed = bool(
+                engine.faults is not None and pipeline.crashes(1)[0]
+            )
+            voided = crashed or pipeline.past_deadline(duration)
+            dispatch_meta.append((client_id, duration, epochs, voided))
+            if not voided:
+                work.append(
+                    ClientWork(
+                        client_index=client_id,
+                        epochs=epochs,
+                        round_index=round_index,
+                        rng=pipeline.seed_from_label(
+                            f"semisync-training/round-{round_index}"
+                            f"/client-{client_id}"
+                        ),
+                    )
+                )
+        outcomes = pipeline.local_updates(state.params, state.algorithm_state, work)
+        messages = {
+            item.client_index: outcome.message
+            for item, outcome in zip(work, outcomes)
+        }
+        for client_id, duration, epochs, voided in dispatch_meta:
+            scheduler.dispatch(
+                client_id,
+                duration,
+                payload=_InFlight(
+                    message=None if voided else messages[client_id],
+                    base_params=state.params,
+                    base_version=state.model_version,
+                    epochs=epochs,
+                    dispatch_round=round_index,
+                ),
+            )
+
+        # Collect everything that lands inside the deadline window, then
+        # close the round: at the deadline, or at the last delivery when
+        # nothing is left in flight (nobody is worth waiting for).
+        deadline = scheduler.now + self.round_deadline_s
+        arrived: list[StaleUpdate] = []
+        dropped: list[int] = []
+        epochs_used: list[int] = []
+        while scheduler.has_pending() and scheduler.peek_time() <= deadline:
+            event = scheduler.next_completion()
+            inflight: _InFlight = event.payload
+            if inflight.message is None:
+                dropped.append(event.client_id)
+                continue
+            update = StaleUpdate(
+                message=inflight.message,
+                base_params=inflight.base_params,
+                base_version=inflight.base_version,
+            )
+            update.stamp(state.model_version, self.staleness_policy)
+            arrived.append(update)
+            epochs_used.append(inflight.epochs)
+            if inflight.dispatch_round < round_index:
+                self.late_arrivals += 1
+        round_close = deadline if scheduler.has_pending() else scheduler.now
+        scheduler.advance_to(round_close)
+
+        dim = state.params.size
+        uploads = sum(u.message.upload_floats for u in arrived)
+        downloads = len(cohort) * engine.algorithm.download_floats(dim)
+        compressed, upload_wire_bytes = pipeline.compress(
+            [u.message for u in arrived]
+        )
+        for update, message in zip(arrived, compressed):
+            update.message = message
+
+        if arrived:
+            state.params = engine.algorithm.aggregate_async(
+                state.params,
+                state.algorithm_state,
+                arrived,
+                len(engine.clients),
+                state.model_version,
+            )
+            state.model_version += 1
+        # An empty window is an abandoned round: the deadline elapsed, the
+        # costs were paid, and the model version did not advance.
+
+        state.rounds_run += 1
+        evaluation = engine._maybe_evaluate()
+        record = finalise_round(
+            engine,
+            evaluation=evaluation,
+            train_losses=[u.message.train_loss for u in arrived],
+            # Like the async plan, "selected" means resolved in this round's
+            # window: the aggregated arrivals plus the crashed deliveries.
+            # Sampled-but-busy clients were neither dispatched nor charged a
+            # download, so they do not count.
+            num_selected=len(arrived) + len(dropped),
+            uploads=uploads,
+            downloads=downloads,
+            upload_wire_bytes=upload_wire_bytes,
+            download_wire_bytes=downloads * BYTES_PER_FLOAT,
+            epochs_used=epochs_used,
+            simulated_seconds=round_close - state.last_aggregation_time,
+            dropped=dropped,
+            stalenesses=[u.staleness for u in arrived],
+            deadline_s=self.round_deadline_s,
+        )
+        state.last_aggregation_time = round_close
+        return record
+
+    def extra_metadata(self, engine: FederatedSimulation) -> dict:
+        return {
+            "mode": "semisync",
+            "round_deadline_s": self.round_deadline_s,
+            "staleness": self.staleness_policy.name,
+            "late_arrivals": self.late_arrivals,
+            "final_version": engine.state.model_version,
+            "virtual_time_s": self._scheduler.now,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Fully asynchronous: event-driven buffered aggregation
+# --------------------------------------------------------------------------- #
+class AsyncPlan(ExecutionPlan):
+    """Event-driven buffered aggregation (the FedBuff protocol).
+
+    At most ``max_concurrency`` clients train at any virtual instant;
+    whenever a slot frees up an idle client is drawn uniformly at random
+    and dispatched with the current model.  Completed updates accumulate
+    in a bounded buffer; when ``buffer_size`` updates have arrived the
+    server aggregates them into the next model version, weighting each by
+    its staleness.  One "round" is one aggregation.
+    """
+
+    name = "async"
+
+    #: Consecutive dropped deliveries tolerated before the plan concludes
+    #: the fault configuration can never fill the buffer (e.g. a deadline
+    #: below every client's possible round time).
+    _MAX_CONSECUTIVE_DROPS = 10_000
+
+    def __init__(
+        self,
+        buffer_size: int | None = None,
+        max_concurrency: int | None = None,
+        staleness: StalenessWeighting | str | None = None,
+        staleness_exponent: float = 0.5,
+    ):
+        self.buffer_size = buffer_size
+        self.max_concurrency = max_concurrency
+        self.staleness_policy = resolve_staleness(staleness, staleness_exponent)
+        self._scheduler: AsyncScheduler | None = None
+        self._dispatch_count = 0
+        self._buffer: list[StaleUpdate] = []
+        # Per-aggregation-window accumulators (reset after each record).
+        self._window_downloads = 0
+        self._window_dropped: list[int] = []
+        self._window_epochs: list[int] = []
+
+    def bind(self, engine: FederatedSimulation) -> None:
+        self._require_async_support(engine)
+        faults = engine.faults
+        if faults is not None and (
+            faults.deadline_s == 0 or faults.dropout_rate >= 1.0
+        ):
+            # Every dispatch would be discarded (instant deadline) or crash
+            # (certain dropout): the buffer could never fill and the virtual
+            # clock would spin forever.  The synchronous engine handles these
+            # extremes as abandoned rounds; here they are configuration
+            # errors.
+            raise ConfigurationError(
+                "faults that drop every dispatch (dropout_rate=1.0 or "
+                "deadline_s=0) give the asynchronous engine nothing to "
+                "aggregate; use the synchronous engine for that regime"
+            )
+
+        num_clients = len(engine.clients)
+        buffer_size = self.buffer_size
+        if buffer_size is None:
+            buffer_size = self._default_buffer_size(engine, num_clients)
+        if buffer_size <= 0:
+            raise ConfigurationError(
+                f"buffer_size must be positive, got {buffer_size}"
+            )
+        if buffer_size > num_clients:
+            raise ConfigurationError(
+                f"buffer_size {buffer_size} exceeds the population of "
+                f"{num_clients} clients"
+            )
+        max_concurrency = self.max_concurrency
+        if max_concurrency is None:
+            max_concurrency = min(num_clients, 2 * buffer_size)
+        if max_concurrency <= 0:
+            raise ConfigurationError(
+                f"max_concurrency must be positive, got {max_concurrency}"
+            )
+        self.buffer_size = int(buffer_size)
+        self.max_concurrency = int(min(max_concurrency, num_clients))
+
+        self._scheduler = AsyncScheduler(num_clients)
+        self._dispatch_rng = engine._rng_factory.make("async-dispatch")
+
+    @staticmethod
+    def _default_buffer_size(engine: FederatedSimulation, num_clients: int) -> int:
+        """The synchronous per-round cohort, so each aggregation consumes the
+        same number of uploads in both modes; falls back to a tenth of the
+        population for samplers without a fixed cohort size."""
+        num_selected = getattr(engine.sampler, "num_selected", None)
+        if callable(num_selected):
+            return max(1, int(num_selected(num_clients)))
+        return max(1, int(round(0.1 * num_clients)))
+
+    @property
+    def virtual_time(self) -> float:
+        """Current virtual-clock reading in simulated seconds."""
+        return self._scheduler.now
+
+    def task_seed(self, engine: FederatedSimulation, dispatch_seq: int, client_id: int) -> int:
+        """Deterministic per-dispatch seed, independent of the executor."""
+        return engine.pipeline.seed_from_label(
+            f"async-training/dispatch-{dispatch_seq}/client-{client_id}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dispatching
+    # ------------------------------------------------------------------ #
+    def _fill_dispatch_slots(self, engine: FederatedSimulation) -> None:
+        """Dispatch idle clients until the concurrency cap is reached."""
+        free_slots = self.max_concurrency - self._scheduler.num_in_flight
+        if free_slots <= 0:
+            return
+        idle = np.fromiter(self._scheduler.idle_clients(), dtype=np.int64)
+        count = min(free_slots, idle.size)
+        if count == 0:
+            return
+        chosen = self._dispatch_rng.choice(idle, size=count, replace=False)
+        self._dispatch_wave(engine, sorted(int(c) for c in chosen))
+
+    def _dispatch_wave(
+        self, engine: FederatedSimulation, client_ids: list[int]
+    ) -> None:
+        """Dispatch a batch of clients at the current virtual instant.
+
+        Local updates are computed eagerly (their result depends only on
+        the parameters shipped at dispatch) and attached to the completion
+        event, so a pooled executor parallelises each wave.
+        """
+        state, pipeline = engine.state, engine.pipeline
+        version = state.model_version
+        dispatched: list[tuple[int, float, int, bool]] = []
+        work: list[ClientWork] = []
+        for client_id in client_ids:
+            self._window_downloads += 1
+            epochs = engine.local_work.epochs(
+                client_id, version, engine._work_rng
+            )
+            duration = pipeline.client_round_seconds(client_id, epochs)
+            crashed = bool(
+                engine.faults is not None and pipeline.crashes(1)[0]
+            )
+            straggled = pipeline.past_deadline(duration)
+            dropped = crashed or straggled
+            dispatched.append((client_id, duration, epochs, dropped))
+            if dropped:
+                continue
+            seq = self._dispatch_count + len(work)
+            work.append(
+                ClientWork(
+                    client_index=client_id,
+                    epochs=epochs,
+                    round_index=version,
+                    # Always per-task integer seeds: async histories are
+                    # identical across serial/thread/process executors.
+                    rng=self.task_seed(engine, seq, client_id),
+                )
+            )
+        self._dispatch_count += len(work)
+
+        outcomes = pipeline.local_updates(state.params, state.algorithm_state, work)
+        messages = {
+            item.client_index: outcome.message
+            for item, outcome in zip(work, outcomes)
+        }
+
+        for client_id, duration, epochs, dropped in dispatched:
+            self._scheduler.dispatch(
+                client_id,
+                duration,
+                payload=_InFlight(
+                    message=None if dropped else messages[client_id],
+                    base_params=state.params,
+                    base_version=version,
+                    epochs=epochs,
+                ),
+            )
+
+    # ------------------------------------------------------------------ #
+    # One aggregation ("round")
+    # ------------------------------------------------------------------ #
+    def run_round(self, engine: FederatedSimulation) -> RoundRecord:
+        """Advance the virtual clock until the next aggregation completes."""
+        self._fill_dispatch_slots(engine)
+        consecutive_drops = 0
+        while len(self._buffer) < self.buffer_size:
+            if not self._scheduler.has_pending():
+                raise SimulationError(
+                    "asynchronous engine stalled: no client in flight and "
+                    "the aggregation buffer is not full"
+                )
+            event = self._scheduler.next_completion()
+            inflight: _InFlight = event.payload
+            if inflight.message is None:
+                self._window_dropped.append(event.client_id)
+                consecutive_drops += 1
+                if consecutive_drops >= self._MAX_CONSECUTIVE_DROPS:
+                    raise SimulationError(
+                        f"{consecutive_drops} consecutive dispatches were "
+                        "dropped without one delivery; the fault "
+                        "configuration can never fill the aggregation buffer"
+                    )
+            else:
+                consecutive_drops = 0
+                self._buffer.append(
+                    StaleUpdate(
+                        message=inflight.message,
+                        base_params=inflight.base_params,
+                        base_version=inflight.base_version,
+                    )
+                )
+                self._window_epochs.append(inflight.epochs)
+            self._fill_dispatch_slots(engine)
+        return self._aggregate_buffer(engine)
+
+    def _aggregate_buffer(self, engine: FederatedSimulation) -> RoundRecord:
+        """Mix the buffered updates into the next model version."""
+        state, pipeline = engine.state, engine.pipeline
+        # run_round stops delivering the moment the buffer fills, so the
+        # whole buffer is exactly one aggregation's worth.
+        updates, self._buffer = self._buffer, []
+        for update in updates:
+            update.stamp(state.model_version, self.staleness_policy)
+
+        dim = state.params.size
+        uploads = sum(u.message.upload_floats for u in updates)
+        downloads = self._window_downloads * engine.algorithm.download_floats(dim)
+        compressed, upload_wire_bytes = pipeline.compress(
+            [u.message for u in updates]
+        )
+        for update, message in zip(updates, compressed):
+            update.message = message
+
+        state.params = engine.algorithm.aggregate_async(
+            state.params,
+            state.algorithm_state,
+            updates,
+            len(engine.clients),
+            state.model_version,
+        )
+        state.model_version += 1
+        state.rounds_run += 1
+        evaluation = engine._maybe_evaluate()
+
+        now = self._scheduler.now
+        record = finalise_round(
+            engine,
+            evaluation=evaluation,
+            train_losses=[u.message.train_loss for u in updates],
+            # In the async plan "selected" means dispatched-and-resolved in
+            # this aggregation window: the aggregated updates plus the
+            # dispatches that crashed or outran the deadline.
+            num_selected=len(updates) + len(self._window_dropped),
+            uploads=uploads,
+            downloads=downloads,
+            upload_wire_bytes=upload_wire_bytes,
+            download_wire_bytes=downloads * BYTES_PER_FLOAT,
+            epochs_used=self._window_epochs,
+            simulated_seconds=now - state.last_aggregation_time,
+            dropped=self._window_dropped,
+            stalenesses=[u.staleness for u in updates],
+        )
+        state.last_aggregation_time = now
+        self._window_downloads = 0
+        self._window_dropped = []
+        self._window_epochs = []
+        return record
+
+    def extra_metadata(self, engine: FederatedSimulation) -> dict:
+        return {
+            "mode": "async",
+            "buffer_size": self.buffer_size,
+            "max_concurrency": self.max_concurrency,
+            "staleness": self.staleness_policy.name,
+            "final_version": engine.state.model_version,
+            "virtual_time_s": self._scheduler.now,
+        }
+
+
+PLAN_REGISTRY: dict[str, type[ExecutionPlan]] = {
+    SyncPlan.name: SyncPlan,
+    SemiSyncPlan.name: SemiSyncPlan,
+    AsyncPlan.name: AsyncPlan,
+}

@@ -153,6 +153,18 @@ class AsyncScheduler:
         self._now = max(self._now, event.time)
         return event
 
+    def peek_time(self) -> float:
+        """Virtual time of the earliest pending completion."""
+        return self._queue.peek_time()
+
+    def advance_to(self, time_s: float) -> None:
+        """Move the clock forward to ``time_s`` (never backwards).
+
+        Used by deadline-bounded plans: the server closes a round at its
+        deadline even when no completion lands exactly on it.
+        """
+        self._now = max(self._now, float(time_s))
+
     def has_pending(self) -> bool:
         """Whether any client is still in flight."""
         return bool(self._queue)

@@ -1,0 +1,130 @@
+"""Staleness weighting policies and the buffered-update container.
+
+An update trained against model version ``v`` and aggregated into version
+``V`` has staleness ``V - v``.  A :class:`StalenessWeighting` maps that age
+to a mixing weight in ``(0, 1]``; how the weight is *applied* is an
+algorithm decision (see
+:meth:`repro.algorithms.base.FederatedAlgorithm.aggregate_async`).
+
+These pieces are shared by every execution plan that mixes updates of
+different ages — the fully asynchronous plan (FedBuff-style bounded
+buffer) and the semi-synchronous plan (deadline-bounded rounds with
+late arrivals).  They live in their own module so the plans and the
+algorithm layer can both import them without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.federated.messages import ClientMessage
+
+
+class StalenessWeighting:
+    """Interface: map an update's staleness to a mixing weight in (0, 1]."""
+
+    name = "base"
+
+    def weight(self, staleness: int) -> float:
+        """Mixing weight for an update that is ``staleness`` versions old."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class ConstantStaleness(StalenessWeighting):
+    """Every update weighs the same regardless of age (no damping)."""
+
+    name = "constant"
+
+    def weight(self, staleness: int) -> float:
+        return 1.0
+
+
+class PolynomialStaleness(StalenessWeighting):
+    """Polynomial decay ``(1 + s)^{-a}`` (Xie et al., 2019's ``s_a``)."""
+
+    name = "polynomial"
+
+    def __init__(self, exponent: float = 0.5):
+        if exponent < 0:
+            raise ConfigurationError(
+                f"staleness exponent must be non-negative, got {exponent}"
+            )
+        self.exponent = float(exponent)
+
+    def weight(self, staleness: int) -> float:
+        if staleness < 0:
+            raise ConfigurationError(
+                f"staleness must be non-negative, got {staleness}"
+            )
+        return float((1.0 + staleness) ** -self.exponent)
+
+
+STALENESS_REGISTRY: dict[str, type[StalenessWeighting]] = {
+    ConstantStaleness.name: ConstantStaleness,
+    PolynomialStaleness.name: PolynomialStaleness,
+}
+
+
+def build_staleness(name: str, **kwargs) -> StalenessWeighting:
+    """Instantiate a staleness weighting by registry name."""
+    try:
+        staleness_cls = STALENESS_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown staleness weighting {name!r}; "
+            f"available: {sorted(STALENESS_REGISTRY)}"
+        ) from None
+    return staleness_cls(**kwargs)
+
+
+def resolve_staleness(
+    staleness: StalenessWeighting | str | None, exponent: float = 0.5
+) -> StalenessWeighting:
+    """Coerce a policy instance, registry name, or ``None`` into a policy.
+
+    ``None`` gives the polynomial default; a name is looked up in the
+    registry (the exponent only applies to the polynomial policy).
+    """
+    if staleness is None:
+        return PolynomialStaleness(exponent)
+    if isinstance(staleness, str):
+        kwargs = (
+            {"exponent": exponent}
+            if staleness == PolynomialStaleness.name
+            else {}
+        )
+        return build_staleness(staleness, **kwargs)
+    if not isinstance(staleness, StalenessWeighting):
+        raise ConfigurationError(
+            f"staleness must be a name or StalenessWeighting, "
+            f"got {type(staleness)}"
+        )
+    return staleness
+
+
+@dataclass
+class StaleUpdate:
+    """One buffered client update awaiting aggregation.
+
+    ``base_params`` is the exact global-parameter vector the client
+    downloaded (version ``base_version``); algorithms that upload whole
+    models difference against it.  ``staleness`` and ``weight`` are filled
+    in at aggregation time, when the consuming version is known.
+    """
+
+    message: ClientMessage
+    base_params: np.ndarray
+    base_version: int
+    staleness: int = 0
+    weight: float = 1.0
+
+    def stamp(self, version: int, policy: StalenessWeighting) -> None:
+        """Fill in staleness and weight against the consuming ``version``."""
+        self.staleness = version - self.base_version
+        self.weight = policy.weight(self.staleness)

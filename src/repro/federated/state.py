@@ -1,0 +1,77 @@
+"""Explicit server-side state objects shared by every execution plan.
+
+Before the runtime was decomposed, the mutable server state (global
+parameters, model version, round counter, evaluation bookkeeping) lived as
+loose attributes on two engine classes and drifted between them.  Both of
+the objects here are plain data:
+
+* :class:`ServerState` — everything the *server* carries across rounds:
+  the current global parameter vector, the algorithm's persistent state
+  dict, the model version counter, how many rounds have run, the virtual
+  clock reading at the last aggregation, and which parameters were last
+  evaluated (so the end-of-run report can reuse a fresh evaluation).
+* :class:`RoundContext` — everything decided about *one* round before any
+  local work runs: who was sampled, how many local epochs each selected
+  client will attempt, who survived the fault model, and what the round
+  costs in simulated wall-clock.
+
+Execution plans (:mod:`repro.federated.plans`) read and advance a
+:class:`ServerState`; the client-work pipeline
+(:mod:`repro.federated.rounds`) produces :class:`RoundContext` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.federated.evaluation import Evaluation
+
+
+@dataclass
+class ServerState:
+    """Mutable server-side state threaded through an entire training run."""
+
+    #: Current global parameter vector (the model the next cohort downloads).
+    params: np.ndarray
+    #: The algorithm's persistent server state (e.g. FedADMM's running mean).
+    algorithm_state: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Number of aggregations applied; synchronous plans keep this equal to
+    #: ``rounds_run``, buffered plans advance it only when a buffer flushes.
+    model_version: int = 0
+    #: Completed rounds (one :class:`~repro.federated.history.RoundRecord` each).
+    rounds_run: int = 0
+    #: Virtual-clock reading at the last aggregation (plans with a clock).
+    last_aggregation_time: float = 0.0
+    #: Evaluation bookkeeping: the most recent evaluation and the round it
+    #: was computed at, so a final report can reuse it when nothing moved.
+    last_evaluation: Evaluation | None = None
+    last_evaluation_round: int = -1
+
+    def evaluation_is_current(self) -> bool:
+        """Whether ``last_evaluation`` evaluated the *current* parameters."""
+        return self.last_evaluation_round == self.rounds_run
+
+
+@dataclass
+class RoundContext:
+    """Everything decided about one round before local work runs."""
+
+    #: Index of the round being executed (0-based, pre-increment).
+    round_index: int
+    #: Client ids sampled into the round, in sampler order.
+    selected: tuple[int, ...]
+    #: Realised local epoch budget per selected client.
+    epochs_by_client: dict[int, int] = field(default_factory=dict)
+    #: Selected clients that survived the fault model and will train.
+    survivors: list[int] = field(default_factory=list)
+    #: Selected clients dropped by crashes or the round deadline.
+    dropped: list[int] = field(default_factory=list)
+    #: Simulated wall-clock cost of the round (0.0 without a network model).
+    round_seconds: float = 0.0
+
+    @property
+    def num_selected(self) -> int:
+        """Size of the sampled set |S_t| (survivors plus dropped)."""
+        return len(self.selected)

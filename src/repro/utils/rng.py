@@ -8,7 +8,7 @@ created so that a single integer seed reproduces a full experiment.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Union
 
 import numpy as np
 

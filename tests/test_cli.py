@@ -109,6 +109,50 @@ class TestCliRuns:
         assert "seconds_to_target" in out
         assert "sync" in out and "async" in out
 
+    def test_semisync_experiment_small_run(self, tmp_path, capsys):
+        output = tmp_path / "semisync.json"
+        code = main(
+            [
+                "semisync",
+                "--dataset",
+                "blobs",
+                "--clients",
+                "8",
+                "--rounds",
+                "3",
+                "--round-deadline",
+                "2.0",
+                "--staleness",
+                "constant",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "semisync" in out and "seconds_to_target" in out
+        payload = json.loads(output.read_text())
+        assert {"rows", "late_arrivals", "round_deadline_s"} <= set(payload)
+
+    def test_semisync_mode_flag_on_table3(self, capsys):
+        code = main(
+            ["table3", "--dataset", "blobs", "--clients", "8", "--rounds", "2",
+             "--mode", "semisync", "--network", "lognormal"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skips" in out  # scaffold/fedpd opt out of buffered plans
+        assert "fedadmm" in out
+
+    def test_registry_extra_flags_reach_the_sweep(self, capsys):
+        code = main(
+            ["fig6", "--dataset", "blobs", "--clients", "8", "--rounds", "2",
+             "--etas", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eta=0.5" in out and "eta=1.5" not in out
+
     def test_async_flag_on_systems_skips_scaffold(self, capsys):
         code = main(
             ["systems", "--dataset", "blobs", "--clients", "8", "--rounds", "2",

@@ -19,21 +19,25 @@ from repro.experiments.configs import (
     table5_config,
     table6_config,
 )
+from repro.experiments.configs import semisync_config
 from repro.experiments.figures import accuracy_series, final_accuracies, series_to_text
 from repro.experiments.runner import (
     build_simulation,
     prepare_environment,
     rounds_summary,
-    run_async_study,
     run_comparison,
+    run_single,
+)
+from repro.experiments.studies import (
+    run_async_study,
     run_imbalanced_study,
     run_local_epochs_study,
     run_local_init_study,
     run_rho_schedule_study,
     run_rho_sensitivity_table,
     run_scale_sweep,
+    run_semisync_study,
     run_server_stepsize_study,
-    run_single,
 )
 from repro.experiments.tables import comparison_to_rows, format_table, table3_text
 
@@ -234,6 +238,51 @@ class TestStudies:
     def test_run_async_study_rejects_sync_config(self):
         with pytest.raises(ConfigurationError):
             run_async_study(TINY, [AlgorithmSpec("fedavg", {})])
+
+    def test_mode_and_async_mode_stay_consistent(self):
+        config = TINY.with_overrides(async_mode=True)
+        assert config.mode == "async"
+        back = config.with_overrides(async_mode=False)
+        assert back.mode == "sync" and not back.async_mode
+        semi = TINY.with_overrides(mode="semisync")
+        assert not semi.async_mode
+        with pytest.raises(ConfigurationError):
+            TINY.with_overrides(mode="lockstep")
+
+    def test_build_simulation_dispatches_on_semisync_mode(self):
+        from repro.federated.plans import SemiSyncPlan
+        from repro.systems.network import HomogeneousNetwork
+
+        config = TINY.with_overrides(mode="semisync", round_deadline_s=5.0)
+        simulation = build_simulation(config, AlgorithmSpec("fedavg", {}))
+        assert isinstance(simulation.plan, SemiSyncPlan)
+        assert simulation.plan.round_deadline_s == 5.0
+        # No network configured: the homogeneous default drives the clock.
+        assert isinstance(simulation.network, HomogeneousNetwork)
+
+    def test_semisync_config_preset(self):
+        config = semisync_config("blobs", non_iid=True)
+        assert config.mode == "semisync"
+        assert config.network == "lognormal"
+        assert not config.async_mode
+
+    def test_run_semisync_study_runs_both_modes(self):
+        config = TINY.with_overrides(
+            mode="semisync", num_rounds=3, network="lognormal"
+        )
+        studies = run_semisync_study(
+            config, [AlgorithmSpec("fedavg", {})], stop_at_target=False
+        )
+        assert set(studies) == {"sync", "semisync"}
+        semi_result = next(iter(studies["semisync"].results.values()))
+        assert semi_result.metadata["mode"] == "semisync"
+        assert semi_result.metadata["round_deadline_s"] > 0
+        deadlines = [r.deadline_s for r in semi_result.history.records]
+        assert all(d is not None and d > 0 for d in deadlines)
+
+    def test_run_semisync_study_rejects_sync_config(self):
+        with pytest.raises(ConfigurationError):
+            run_semisync_study(TINY, [AlgorithmSpec("fedavg", {})])
 
     def test_imbalanced_study_requires_imbalanced_partition(self):
         with pytest.raises(ConfigurationError):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.datasets.base import Dataset
 from repro.datasets.synthetic import make_blobs
 from repro.exceptions import ConfigurationError, PartitionError
 from repro.partition import (

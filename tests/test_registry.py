@@ -1,0 +1,162 @@
+"""Tests for the declarative study registry and its CLI-facing resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.registry import (
+    Study,
+    StudyFlag,
+    StudyRegistry,
+    StudyRequest,
+)
+from repro.experiments.studies import STUDIES
+
+
+TINY = ExperimentConfig(
+    name="tiny-registry",
+    dataset="blobs",
+    n_train=200,
+    n_test=80,
+    model="mlp",
+    model_kwargs={"input_dim": 32, "hidden_dims": (8,)},
+    num_clients=6,
+    client_fraction=0.5,
+    local_epochs=1,
+    batch_size=16,
+    num_rounds=2,
+    target_accuracy=0.5,
+)
+
+
+def make_study(name="demo", **kwargs) -> Study:
+    defaults = dict(
+        name=name,
+        description="a demo study",
+        build_config=lambda request: TINY,
+        sweep=lambda config, request: {"config": config, "request": request},
+        summarise=lambda raw, request: {"ok": True, "raw": raw},
+    )
+    defaults.update(kwargs)
+    return Study(**defaults)
+
+
+class TestStudyRegistryResolution:
+    def test_add_get_and_order(self):
+        registry = StudyRegistry()
+        registry.add(make_study("b"))
+        registry.add(make_study("a"))
+        assert registry.names() == ["b", "a"]  # registration order
+        assert registry.get("a").name == "a"
+        assert "a" in registry and "missing" not in registry
+        assert len(registry) == 2
+
+    def test_duplicate_names_rejected(self):
+        registry = StudyRegistry()
+        registry.add(make_study("x"))
+        with pytest.raises(ConfigurationError):
+            registry.add(make_study("x"))
+
+    def test_unknown_name_raises_value_error_with_choices(self):
+        registry = StudyRegistry()
+        registry.add(make_study("known"))
+        with pytest.raises(ValueError, match="known"):
+            registry.get("unknown")
+
+    def test_run_applies_overrides_before_sweep(self):
+        registry = StudyRegistry()
+        registry.add(make_study())
+        request = StudyRequest(rounds=7, seed=3, overrides={"dropout": 0.25})
+        payload = registry.run("demo", request)
+        swept = payload["raw"]["config"]
+        assert swept.num_rounds == 7
+        assert swept.seed == 3
+        assert swept.dropout == 0.25
+
+    def test_run_skips_overrides_for_configless_studies(self):
+        registry = StudyRegistry()
+        registry.add(
+            make_study(
+                "closed-form",
+                build_config=lambda request: None,
+                sweep=lambda config, request: config,
+                summarise=lambda raw, request: {"config": raw},
+            )
+        )
+        assert registry.run("closed-form")["config"] is None
+
+
+class TestStudyRequest:
+    def test_from_args_with_sparse_namespace(self):
+        class Args:
+            dataset = "blobs"
+            rho = 0.7
+
+        request = StudyRequest.from_args(Args())
+        assert request.dataset == "blobs"
+        assert request.rho == 0.7
+        assert request.scale == "bench"  # fell back to the default
+        assert request.overrides == {}
+
+    def test_from_args_collects_overrides_and_options(self):
+        class Args:
+            dataset = "mnist"
+            codec = "topk"
+            mode = "semisync"
+            round_deadline_s = 4.0
+            etas = [0.5, 1.0]
+
+        request = StudyRequest.from_args(Args(), option_names=("etas",))
+        assert request.overrides["codec"] == "topk"
+        assert request.overrides["mode"] == "semisync"
+        assert request.overrides["round_deadline_s"] == 4.0
+        assert request.option("etas") == [0.5, 1.0]
+        assert request.option("missing", "fallback") == "fallback"
+
+    def test_legacy_async_flag_maps_to_mode(self):
+        class Args:
+            async_mode = True
+
+        request = StudyRequest.from_args(Args())
+        assert request.overrides["mode"] == "async"
+
+    def test_flag_dest_derivation(self):
+        flag = StudyFlag("--dropout-rates", {"nargs": "+", "type": float})
+        assert flag.dest == "dropout_rates"
+
+
+class TestDefaultRegistryContents:
+    def test_every_paper_study_is_registered(self):
+        expected = {
+            "table1", "table3", "table4", "table5", "table6",
+            "fig3", "fig5", "fig6", "fig8", "fig9",
+            "systems", "async", "semisync",
+        }
+        assert expected <= set(STUDIES.names())
+
+    def test_descriptions_cover_every_study(self):
+        descriptions = STUDIES.descriptions()
+        assert set(descriptions) == set(STUDIES.names())
+        assert all(descriptions.values())
+
+    def test_table1_runs_without_training(self, capsys):
+        payload = STUDIES.run("table1")
+        assert payload["rows"]
+        assert "fedadmm" in capsys.readouterr().out
+
+    def test_cli_exposes_registry_subcommands(self):
+        from repro.cli import EXPERIMENTS, _build_parser
+
+        assert set(EXPERIMENTS) == set(STUDIES.names())
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["fig6", "--dataset", "blobs", "--etas", "0.5", "1.0"]
+        )
+        assert args.experiment == "fig6"
+        assert args.etas == [0.5, 1.0]
+        args = parser.parse_args(
+            ["semisync", "--round-deadline", "2.0", "--mode", "semisync"]
+        )
+        assert args.round_deadline_s == 2.0

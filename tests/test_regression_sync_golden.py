@@ -109,3 +109,112 @@ class TestSyncPathBitIdentity:
             assert record.mean_staleness == 0.0
             assert record.max_staleness == 0
             assert record.model_version == record.round_index
+
+
+# --------------------------------------------------------------------------- #
+# Asynchronous golden path
+# --------------------------------------------------------------------------- #
+# Generated on the pre-decomposition AsyncFederatedSimulation (commit
+# ``888d5c3``, before the engine was split into state/rounds/plans) with the
+# recipe below.  Like the synchronous goldens above, these pin the exact RNG
+# stream consumption of the event-driven path — dispatch order, per-dispatch
+# seeds, staleness accounting — and must never be refreshed to make a failing
+# build pass without understanding why the stream moved.
+GOLDEN_ASYNC_PARAMS_SHA256 = (
+    "08af74602483b0e11efdffdde80ec8da7c0086b09858045a8481fc2bf6c3600e"
+)
+GOLDEN_ASYNC_ACCURACIES = [0.71875, 0.90625, 0.96875, 0.98125, 0.98125, 0.9375]
+GOLDEN_ASYNC_TRAIN_LOSSES = [
+    0.49846802227805065,
+    0.5969267964862257,
+    0.6425320914162252,
+    0.11209958993949908,
+    0.0719943123865061,
+    0.12926361639893003,
+]
+GOLDEN_ASYNC_STALENESS = [
+    (0.0, 0),
+    (1.0, 1),
+    (2.0, 2),
+    (2.5, 3),
+    (2.5, 3),
+    (2.0, 2),
+]
+GOLDEN_ASYNC_UPLOAD_FLOATS = 3312
+GOLDEN_ASYNC_DOWNLOAD_FLOATS = 4692
+
+
+def run_async_seed_recipe():
+    """The exact async run the golden values were generated from."""
+    from repro.federated.async_engine import AsyncFederatedSimulation
+    from repro.systems.network import LogNormalNetwork
+
+    split = make_blobs(
+        n_train=480, n_test=160, num_classes=4, feature_dim=12,
+        separation=2.5, noise_std=0.8, rng=0,
+    )
+    partition = ShardPartitioner(shards_per_client=2).partition(
+        split.train, num_clients=8, rng=0
+    )
+    clients = build_clients(split.train, partition)
+    model = MLP(
+        input_dim=12, hidden_dims=(16,), num_classes=4,
+        rng=np.random.default_rng(7),
+    )
+    simulation = AsyncFederatedSimulation(
+        algorithm=build_algorithm("fedadmm", rho=0.3),
+        model=model,
+        clients=clients,
+        test_dataset=split.test,
+        batch_size=16,
+        learning_rate=0.1,
+        seed=11,
+        eval_every=1,
+        buffer_size=2,
+        max_concurrency=5,
+        network=LogNormalNetwork(),
+    )
+    return simulation.run(6, target_accuracy=None)
+
+
+@pytest.fixture(scope="module")
+def async_seed_result():
+    return run_async_seed_recipe()
+
+
+class TestAsyncPathBitIdentity:
+    def test_final_parameters_hash(self, async_seed_result):
+        digest = hashlib.sha256(
+            async_seed_result.final_params.tobytes()
+        ).hexdigest()
+        assert digest == GOLDEN_ASYNC_PARAMS_SHA256
+
+    def test_accuracy_trajectory_exact(self, async_seed_result):
+        accuracies = [rec.test_accuracy for rec in async_seed_result.history.records]
+        assert accuracies == GOLDEN_ASYNC_ACCURACIES
+
+    def test_train_loss_trajectory_exact(self, async_seed_result):
+        losses = [rec.train_loss for rec in async_seed_result.history.records]
+        assert losses == GOLDEN_ASYNC_TRAIN_LOSSES
+
+    def test_staleness_trajectory_exact(self, async_seed_result):
+        staleness = [
+            (rec.mean_staleness, rec.max_staleness)
+            for rec in async_seed_result.history.records
+        ]
+        assert staleness == GOLDEN_ASYNC_STALENESS
+
+    def test_communication_totals_exact(self, async_seed_result):
+        assert async_seed_result.ledger.upload_floats == GOLDEN_ASYNC_UPLOAD_FLOATS
+        assert (
+            async_seed_result.ledger.download_floats
+            == GOLDEN_ASYNC_DOWNLOAD_FLOATS
+        )
+
+    def test_model_versions_advance_per_aggregation(self, async_seed_result):
+        versions = [rec.model_version for rec in async_seed_result.history.records]
+        assert versions == [1, 2, 3, 4, 5, 6]
+        assert all(
+            rec.simulated_seconds > 0
+            for rec in async_seed_result.history.records
+        )

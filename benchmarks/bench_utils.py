@@ -11,6 +11,7 @@ iteration since a federated sweep is far too expensive to repeat many times.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Callable
 
@@ -66,3 +67,26 @@ def emit_summary(name: str, payload: dict[str, Any], benchmark=None) -> Path:
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(summary, indent=2, default=str) + "\n")
     return path
+
+
+def speedup_summary(
+    serial_seconds: float, parallel_seconds: float, jobs: int
+) -> dict[str, Any]:
+    """Wall-clock speedup record for a parallel-vs-serial measurement.
+
+    ``speedup`` is serial time over parallel time (>1 means the parallel
+    run won); ``cpu_count`` is recorded alongside because the measurement
+    is only meaningful relative to the cores that were available — on a
+    single-core runner a process pool cannot beat the serial loop.
+    """
+    return {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": (
+            round(serial_seconds / parallel_seconds, 3)
+            if parallel_seconds > 0
+            else None
+        ),
+    }

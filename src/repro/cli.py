@@ -7,11 +7,21 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli fig6 --rounds 30 --etas 0.5 1.0 --output fig6.json
     python -m repro.cli semisync --dataset blobs --clients 8 --rounds 3
 
-Every subcommand is generated from the declarative
+    # Parallel, resumable sweeps against a persistent run store
+    python -m repro.cli table3 --jobs 4 --store-dir runs/
+    python -m repro.cli table3 --jobs 4 --store-dir runs/ --resume
+    python -m repro.cli runs list --store-dir runs/
+    python -m repro.cli runs show <key> --store-dir runs/
+    python -m repro.cli runs clean --store-dir runs/
+
+Every study subcommand is generated from the declarative
 :data:`~repro.experiments.studies.STUDIES` registry: one subcommand per
 registered study, each carrying the shared flag groups (scale, systems
-layer, execution plan) plus the study's own extra flags.  Adding a study
-to the registry exposes it here with no CLI edits.
+layer, execution plan, orchestration) plus the study's own extra flags.
+Adding a study to the registry exposes it here with no CLI edits.  The
+extra ``runs`` subcommand inspects and maintains the persistent
+:class:`~repro.experiments.store.ExperimentStore` behind ``--store-dir``
+/ ``--resume``.
 """
 
 from __future__ import annotations
@@ -20,14 +30,20 @@ import argparse
 import sys
 from typing import Any
 
+from repro.experiments.orchestrator import SpecEvent, SweepOrchestrator
 from repro.experiments.registry import StudyRequest
+from repro.experiments.store import ExperimentStore, RunStatus
 from repro.experiments.studies import STUDIES
+from repro.experiments.tables import format_table
 from repro.federated.staleness import STALENESS_REGISTRY
 from repro.systems import CODEC_REGISTRY, EXECUTOR_REGISTRY, NETWORK_REGISTRY
 from repro.utils.serialization import save_json, to_jsonable
 
 #: Name → one-line description of every runnable experiment (registry view).
 EXPERIMENTS: dict[str, str] = STUDIES.descriptions()
+
+#: Where run records land when ``--resume`` is given without ``--store-dir``.
+DEFAULT_STORE_DIR = ".repro_runs"
 
 
 def _shared_flags() -> argparse.ArgumentParser:
@@ -86,6 +102,20 @@ def _shared_flags() -> argparse.ArgumentParser:
                       help="semisync: per-round aggregation deadline in "
                            "simulated seconds (default: derived from the "
                            "network model's median client duration)")
+    orchestration = common.add_argument_group(
+        "sweep orchestration (see repro.experiments.orchestrator)")
+    orchestration.add_argument("--jobs", type=int, default=1,
+                               help="run the study's sweep points across N "
+                                    "worker processes (default: 1, serial "
+                                    "and bit-identical to --jobs N)")
+    orchestration.add_argument("--resume", action="store_true",
+                               help="skip sweep points already done in the "
+                                    "run store; re-run failed/interrupted "
+                                    "ones (implies a store)")
+    orchestration.add_argument("--store-dir", default=None,
+                               help="persist per-run records/results in this "
+                                    f"directory (default with --resume: "
+                                    f"{DEFAULT_STORE_DIR})")
     return common
 
 
@@ -105,14 +135,122 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         for flag in study.flags:
             sub.add_argument(flag.name, **flag.kwargs)
+    runs = subparsers.add_parser(
+        "runs", help="inspect/maintain the persistent run store",
+        description="List, show, and clean the run records behind "
+                    "--store-dir / --resume.",
+    )
+    runs.add_argument("action", choices=["list", "show", "clean"])
+    runs.add_argument("key", nargs="?", default=None,
+                      help="run key (for `runs show`)")
+    runs.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
+                      help=f"store directory (default: {DEFAULT_STORE_DIR})")
+    runs.add_argument("--status", nargs="+", default=None,
+                      choices=[status.value for status in RunStatus],
+                      help="list: only these statuses; "
+                           "clean: drop these statuses "
+                           "(default: pending/running/failed)")
     return parser
+
+
+def _progress_printer(event: SpecEvent) -> None:
+    """Render one orchestrator progress event as a ``[k/n]`` line."""
+    if event.event == "start":
+        return
+    position = f"[{event.index + 1}/{event.total}]"
+    elapsed = "" if event.elapsed_s is None else f" {event.elapsed_s:.1f}s"
+    suffix = f" ({event.error.splitlines()[-1]})" if event.error else ""
+    print(f"{position} {event.event:7s} {event.spec.label()}{elapsed}{suffix}")
+
+
+def build_orchestrator(args: Any) -> SweepOrchestrator | None:
+    """Construct the sweep orchestrator the given CLI flags ask for.
+
+    Returns ``None`` when no orchestration flag was used, so plain
+    invocations keep the exact historical output (no progress lines, no
+    store writes).
+    """
+    jobs = getattr(args, "jobs", None)
+    jobs = 1 if jobs is None else jobs
+    resume = getattr(args, "resume", False)
+    store_dir = getattr(args, "store_dir", None)
+    if jobs == 1 and not resume and store_dir is None:
+        return None
+    if store_dir is None and resume:
+        store_dir = DEFAULT_STORE_DIR
+    store = ExperimentStore(store_dir) if store_dir is not None else None
+    return SweepOrchestrator(
+        jobs=jobs, store=store, resume=resume, progress=_progress_printer
+    )
 
 
 def run_experiment(name: str, args: Any) -> dict:
     """Run one named experiment and return a JSON-serialisable result summary."""
     study = STUDIES.get(name)  # unknown names raise ValueError
     request = StudyRequest.from_args(args, option_names=study.option_names())
-    return STUDIES.run(name, request)
+    return STUDIES.run(name, request, orchestrator=build_orchestrator(args))
+
+
+# --------------------------------------------------------------------------- #
+# The `runs` subcommand (store inspection/maintenance)
+# --------------------------------------------------------------------------- #
+def _record_row(record) -> dict:
+    return {
+        "key": record.key,
+        "status": record.status.value,
+        "study": record.study,
+        "spec": "/".join(str(part) for part in record.spec_key),
+        "algorithm": record.algorithm,
+        "seed": record.seed,
+        "duration_s": (
+            "-" if record.duration_s is None else f"{record.duration_s:.1f}"
+        ),
+    }
+
+
+def handle_runs(args: Any) -> int:
+    """Implement ``repro runs list|show|clean``."""
+    store = ExperimentStore(args.store_dir)
+    if args.action == "list":
+        records = store.records()
+        wanted = set(args.status) if args.status else None
+        rows = [
+            _record_row(record)
+            for record in records.values()
+            if wanted is None or record.status.value in wanted
+        ]
+        if rows:
+            print(format_table(rows))
+        counts = ", ".join(
+            f"{status}={count}" for status, count in store.summary().items()
+        )
+        print(f"{len(rows)} run(s) listed ({counts}) in {store.root}")
+        return 0
+    if args.action == "show":
+        if not args.key:
+            print("error: `runs show` needs a run key", file=sys.stderr)
+            return 2
+        record = store.record(args.key)
+        if record is None:
+            print(f"error: no run {args.key!r} in {store.root}", file=sys.stderr)
+            return 1
+        print(format_table([_record_row(record)]))
+        if record.error:
+            print(f"\nerror:\n{record.error}")
+        if store.has_result(record.key):
+            result = store.load_result(record.key)
+            print(f"\nrounds_run: {result.rounds_run}")
+            print(f"rounds_to_target: {result.rounds_to_target}")
+            print(f"final_accuracy: {result.history.final_accuracy():.4f}")
+            print(f"simulated_seconds: {result.simulated_seconds:.1f}")
+        return 0
+    # clean
+    statuses = (
+        [RunStatus(value) for value in args.status] if args.status else None
+    )
+    dropped = store.clean(statuses)
+    print(f"dropped {len(dropped)} run(s) from {store.root}")
+    return 0
 
 
 def _print_listing() -> None:
@@ -128,6 +266,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.list or args.experiment is None:
         _print_listing()
         return 0
+    if args.experiment == "runs":
+        return handle_runs(args)
     result = run_experiment(args.experiment, args)
     if args.output:
         path = save_json(to_jsonable(result), args.output)

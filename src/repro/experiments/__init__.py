@@ -11,6 +11,11 @@ Each table and figure of the paper's Section V maps to
 :mod:`repro.experiments.runner` holds the reusable core
 (``build_simulation``, ``run_single``, ``run_comparison``); the CLI
 exposes every registry entry as a subcommand automatically.
+:mod:`repro.experiments.orchestrator` executes a study's sweep points
+serially or across a process pool, and
+:mod:`repro.experiments.store` persists every finished run in a
+content-addressed store so sweeps are resumable (``--jobs``,
+``--resume``, ``--store-dir``).
 
 Presets come in two scales: ``"bench"`` (laptop-CPU friendly, used by the
 benchmark suite) and ``"paper"`` (the paper's population sizes and sample
@@ -42,14 +47,27 @@ from repro.experiments.runner import (
     run_comparison,
     run_single,
 )
+from repro.experiments.orchestrator import (
+    RunSpec,
+    SpecEvent,
+    SweepOrchestrator,
+    execute_spec,
+)
 from repro.experiments.registry import (
     Study,
     StudyFlag,
     StudyRegistry,
     StudyRequest,
 )
+from repro.experiments.store import (
+    ExperimentStore,
+    RunRecord,
+    RunStatus,
+)
 from repro.experiments.studies import (
     STUDIES,
+    collect_comparison,
+    comparison_specs,
     filter_plan_compatible,
     run_async_study,
     run_heterogeneity_comparison,
@@ -100,6 +118,16 @@ __all__ = [
     "STUDIES",
     "run_study",
     "filter_plan_compatible",
+    # Orchestration + persistent store
+    "RunSpec",
+    "SpecEvent",
+    "SweepOrchestrator",
+    "execute_spec",
+    "ExperimentStore",
+    "RunRecord",
+    "RunStatus",
+    "comparison_specs",
+    "collect_comparison",
     # Sweeps
     "run_rounds_to_target_table",
     "run_scale_sweep",

@@ -1,0 +1,265 @@
+"""Parallel, resumable execution of a study's sweep points.
+
+A study's sweep expands into independent :class:`RunSpec` s — one per
+(config, algorithm) pair, each fully self-contained and self-seeded
+(the config carries its own seed, mirroring the per-task integer-seed
+discipline of :mod:`repro.systems.executor`).  The
+:class:`SweepOrchestrator` executes a spec list
+
+* **serially** in-process (``jobs=1``, the default — bit-identical to
+  the historical hand-written sweep loops),
+* or **in parallel** across a process pool (``jobs=N``), where each
+  worker reconstructs its run purely from the pickled spec, so results
+  are bit-identical to the serial order regardless of scheduling,
+
+optionally backed by a persistent
+:class:`~repro.experiments.store.ExperimentStore`: finished runs are
+saved as they complete, and with ``resume=True`` specs already ``done``
+in the store are loaded instead of re-executed (``pending`` / ``running``
+/ ``failed`` runs are re-run).  Per-spec progress events stream to an
+optional callback, which the CLI renders as ``[k/n]`` lines.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.experiments.configs import AlgorithmSpec, ExperimentConfig
+from repro.experiments.store import ExperimentStore, RunStatus
+from repro.federated.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent sweep point: everything needed to train one run.
+
+    ``key`` locates the result in the study's output structure (e.g.
+    ``("non_iid", "fedavg")`` or ``(5,)`` for a local-epochs point); it is
+    a tuple of primitives so specs pickle cheaply across process
+    boundaries and serialise into store records.
+    """
+
+    study: str
+    key: tuple
+    config: ExperimentConfig
+    algorithm: AlgorithmSpec
+    stop_at_target: bool = True
+
+    def label(self) -> str:
+        """Human-readable identity for progress lines and errors."""
+        inner = "/".join(str(part) for part in self.key)
+        return f"{self.study}[{inner}]"
+
+
+@dataclass(frozen=True)
+class SpecEvent:
+    """One progress notification streamed by the orchestrator."""
+
+    event: str  #: "start" | "done" | "skipped" | "failed"
+    spec: RunSpec
+    index: int  #: position of the spec in the sweep (0-based)
+    total: int  #: sweep size
+    elapsed_s: float | None = None
+    error: str | None = None
+
+
+ProgressCallback = Callable[[SpecEvent], None]
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Train one sweep point; deterministic given the spec alone.
+
+    This is the module-level entry point process-pool workers invoke: the
+    run is reconstructed purely from the (pickled) spec, so a worker
+    process produces exactly the bytes the serial path would.
+    """
+    from repro.experiments.runner import run_single
+
+    return run_single(spec.config, spec.algorithm, stop_at_target=spec.stop_at_target)
+
+
+def _timed_execute(spec: RunSpec) -> tuple[SimulationResult, float]:
+    """Worker entry point that also measures the run's own wall clock.
+
+    Timed inside the worker so a spec that sat queued behind others does
+    not have its pool-slot wait billed as run duration.
+    """
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class SweepReport:
+    """What a sweep execution did, spec by spec (for tests and the CLI)."""
+
+    executed: list[RunSpec] = field(default_factory=list)
+    skipped: list[RunSpec] = field(default_factory=list)
+    failed: list[tuple[RunSpec, str]] = field(default_factory=list)
+
+
+class SweepOrchestrator:
+    """Executes :class:`RunSpec` lists serially or across a process pool."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: ExperimentStore | None = None,
+        resume: bool = False,
+        progress: ProgressCallback | None = None,
+    ):
+        if jobs <= 0:
+            raise ConfigurationError(f"jobs must be positive, got {jobs}")
+        if resume and store is None:
+            raise ConfigurationError("resume=True requires a store")
+        self.jobs = jobs
+        self.store = store
+        self.resume = resume
+        self.progress = progress
+        self.last_report: SweepReport | None = None
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, event: SpecEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def execute(self, specs: list[RunSpec]) -> dict[tuple, SimulationResult]:
+        """Run every spec and return ``{spec.key: result}`` in spec order.
+
+        With a store, results are persisted as they finish; with
+        ``resume`` specs already ``done`` are served from the store.  If
+        any spec fails, the remaining specs still run (so their results
+        are stored for the next resume) and a :class:`SimulationError`
+        listing the failures is raised at the end.
+        """
+        report = SweepReport()
+        self.last_report = report
+        total = len(specs)
+        results: dict[int, SimulationResult] = {}
+
+        # One index replay for the whole sweep; per-spec lookups hit the
+        # snapshot instead of re-parsing the JSON-lines file every time.
+        stored = self.store.records() if self.store is not None else {}
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            if self.store is not None:
+                key = self.store.key_for(spec)
+                if self.resume and self.store.has_result(key, records=stored):
+                    results[index] = self.store.load_result(key)
+                    report.skipped.append(spec)
+                    self._emit(SpecEvent("skipped", spec, index, total))
+                    continue
+                self.store.mark(spec, RunStatus.PENDING)
+            pending.append(index)
+
+        if self.jobs == 1:
+            self._run_serial(specs, pending, total, results, report)
+        else:
+            self._run_parallel(specs, pending, total, results, report)
+
+        if report.failed:
+            summary = "; ".join(
+                f"{spec.label()}: {error.splitlines()[-1] if error else 'unknown'}"
+                for spec, error in report.failed
+            )
+            raise SimulationError(
+                f"{len(report.failed)} of {total} sweep points failed: {summary}"
+            )
+        return {specs[index].key: results[index] for index in range(total)}
+
+    # ------------------------------------------------------------------ #
+    def _start(self, spec: RunSpec, index: int, total: int) -> None:
+        if self.store is not None:
+            self.store.mark(spec, RunStatus.RUNNING)
+        self._emit(SpecEvent("start", spec, index, total))
+
+    def _finish(
+        self,
+        spec: RunSpec,
+        index: int,
+        total: int,
+        result: SimulationResult,
+        elapsed: float,
+        results: dict[int, SimulationResult],
+        report: SweepReport,
+    ) -> None:
+        if self.store is not None:
+            self.store.save_result(spec, result, duration_s=elapsed)
+        results[index] = result
+        report.executed.append(spec)
+        self._emit(SpecEvent("done", spec, index, total, elapsed_s=elapsed))
+
+    def _fail(
+        self,
+        spec: RunSpec,
+        index: int,
+        total: int,
+        error: str,
+        elapsed: float,
+        report: SweepReport,
+    ) -> None:
+        if self.store is not None:
+            self.store.mark(spec, RunStatus.FAILED, duration_s=elapsed, error=error)
+        report.failed.append((spec, error))
+        self._emit(SpecEvent("failed", spec, index, total, elapsed_s=elapsed, error=error))
+
+    def _run_serial(self, specs, pending, total, results, report) -> None:
+        for index in pending:
+            spec = specs[index]
+            self._start(spec, index, total)
+            started = time.perf_counter()
+            try:
+                result = execute_spec(spec)
+            except Exception:
+                self._fail(
+                    spec, index, total, traceback.format_exc(),
+                    time.perf_counter() - started, report,
+                )
+            else:
+                self._finish(
+                    spec, index, total, result,
+                    time.perf_counter() - started, results, report,
+                )
+
+    def _run_parallel(self, specs, pending, total, results, report) -> None:
+        # Workers return plain SimulationResults; every store write stays
+        # in this process, so the append-only index has a single writer.
+        max_workers = min(self.jobs, len(pending)) or 1
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {}
+            submitted_at = {}
+            for index in pending:
+                spec = specs[index]
+                self._start(spec, index, total)
+                submitted_at[index] = time.perf_counter()
+                futures[pool.submit(_timed_execute, spec)] = index
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures[future]
+                    spec = specs[index]
+                    error = future.exception()
+                    if error is not None:
+                        # The worker died before reporting its own timing;
+                        # fall back to time-since-submit.  format_exception
+                        # keeps the worker's stack, which concurrent.futures
+                        # chains via __cause__.
+                        elapsed = time.perf_counter() - submitted_at[index]
+                        detail = "".join(
+                            traceback.format_exception(
+                                type(error), error, error.__traceback__
+                            )
+                        ).strip()
+                        self._fail(spec, index, total, detail, elapsed, report)
+                    else:
+                        result, elapsed = future.result()
+                        self._finish(
+                            spec, index, total, result, elapsed,
+                            results, report,
+                        )

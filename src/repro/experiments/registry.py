@@ -7,7 +7,10 @@ Each of the paper's tables and figures used to be a hand-written
 
 * how to *build* its base configuration from a :class:`StudyRequest`
   (the CLI-level knobs: dataset, scale, seed, overrides),
-* how to *sweep* that configuration (the actual experiment logic), and
+* how its sweep *expands* into independent run specs (``specs`` +
+  ``collect``, executed through the
+  :class:`~repro.experiments.orchestrator.SweepOrchestrator`) — or, for
+  closed-form studies, a monolithic ``sweep`` callable — and
 * how to *summarise* the raw sweep output into a printed report plus a
   JSON-serialisable payload,
 
@@ -20,10 +23,14 @@ call, with no runner or CLI edits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.configs import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.orchestrator import RunSpec, SweepOrchestrator
+    from repro.federated.engine import SimulationResult
 
 #: Config fields the shared CLI flags override after the preset is built;
 #: ``None`` values mean "flag not given, keep the preset's value".
@@ -119,19 +126,53 @@ class StudyFlag:
 
 @dataclass(frozen=True)
 class Study:
-    """One declaratively registered experiment."""
+    """One declaratively registered experiment.
+
+    A study is executed one of two ways:
+
+    * **spec expansion** (preferred): ``specs`` expands the sweep into
+      independent :class:`~repro.experiments.orchestrator.RunSpec` s and
+      ``collect`` reassembles the per-spec results into the raw sweep
+      output ``summarise`` expects.  Spec-expanded studies run through the
+      :class:`~repro.experiments.orchestrator.SweepOrchestrator`, gaining
+      ``--jobs`` parallelism and ``--resume`` for free.
+    * **monolithic sweep** (fallback): ``sweep`` runs the whole experiment
+      in one call — for studies with no independent training points (e.g.
+      the closed-form ``table1``).
+    """
 
     name: str
     description: str
     #: Build the base :class:`ExperimentConfig` from the request (None for
     #: studies that need no training configuration, e.g. closed-form tables).
     build_config: Callable[[StudyRequest], ExperimentConfig | None]
-    #: Execute the sweep; receives the post-override config and the request.
-    sweep: Callable[[ExperimentConfig | None, StudyRequest], Any]
+    #: Execute the sweep monolithically (fallback when ``specs`` is None);
+    #: receives the post-override config and the request.
+    sweep: Callable[[ExperimentConfig | None, StudyRequest], Any] | None = None
     #: Print the human-readable report and return the JSON payload.
-    summarise: Callable[[Any, StudyRequest], dict]
+    summarise: Callable[[Any, StudyRequest], dict] | None = None
     #: Extra CLI flags exposed on this study's subcommand.
     flags: tuple[StudyFlag, ...] = ()
+    #: Expand the sweep into independent run specs (orchestrated path).
+    specs: Callable[[ExperimentConfig | None, StudyRequest], "list[RunSpec]"] | None = None
+    #: Reassemble ``{spec.key: result}`` into the raw output ``summarise`` expects.
+    collect: (
+        Callable[["dict[tuple, SimulationResult]", ExperimentConfig | None, StudyRequest], Any]
+        | None
+    ) = None
+
+    def __post_init__(self) -> None:
+        if self.summarise is None:
+            raise ConfigurationError(f"study {self.name!r} needs a summarise callable")
+        if self.sweep is None and (self.specs is None or self.collect is None):
+            raise ConfigurationError(
+                f"study {self.name!r} needs either a sweep or a specs+collect pair"
+            )
+
+    @property
+    def orchestrable(self) -> bool:
+        """Whether this study runs through the sweep orchestrator."""
+        return self.specs is not None and self.collect is not None
 
     def option_names(self) -> tuple[str, ...]:
         """The argparse dests of this study's extra flags."""
@@ -177,12 +218,35 @@ class StudyRegistry:
     def __len__(self) -> int:
         return len(self._studies)
 
-    def run(self, name: str, request: StudyRequest | None = None) -> dict:
-        """Execute one study end to end and return its JSON payload."""
+    def run(
+        self,
+        name: str,
+        request: StudyRequest | None = None,
+        orchestrator: "SweepOrchestrator | None" = None,
+    ) -> dict:
+        """Execute one study end to end and return its JSON payload.
+
+        Spec-expanded studies route through ``orchestrator`` (a fresh
+        serial, storeless :class:`SweepOrchestrator` when none is given —
+        bit-identical to the historical monolithic sweeps); studies
+        without specs fall back to their monolithic ``sweep``.
+        """
         study = self.get(name)
         request = request if request is not None else StudyRequest()
         config = study.build_config(request)
         if config is not None:
             config = request.apply_overrides(config)
-        raw = study.sweep(config, request)
+        if study.orchestrable:
+            from repro.experiments.orchestrator import SweepOrchestrator
+
+            runner = orchestrator if orchestrator is not None else SweepOrchestrator()
+            results = runner.execute(study.specs(config, request))
+            raw = study.collect(results, config, request)
+        else:
+            if orchestrator is not None:
+                print(
+                    f"note: study {name!r} has no spec expansion; "
+                    f"--jobs/--resume/--store-dir have no effect"
+                )
+            raw = study.sweep(config, request)
         return study.summarise(raw, request)

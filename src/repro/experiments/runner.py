@@ -10,7 +10,16 @@ The per-table/figure orchestration that used to live here as thirteen
 ``run_*_study`` functions is now declared against the
 :class:`~repro.experiments.registry.StudyRegistry` in
 :mod:`repro.experiments.studies`; ``run_study("table3", request)`` executes
-any of them generically.
+any of them generically, routing each study's sweep points through the
+:class:`~repro.experiments.orchestrator.SweepOrchestrator` (serially by
+default, in parallel worker processes with ``jobs=N``, resumably against
+an :class:`~repro.experiments.store.ExperimentStore`).
+
+``run_single`` is the orchestrator's unit of execution: one (config,
+algorithm) pair, deterministic from the config seed alone.  That is what
+makes the spec decomposition safe — ``run_comparison``'s shared-data loop
+and N independent ``run_single`` calls produce bit-identical results, so
+a sweep computes the same bytes serially, in parallel, or resumed.
 """
 
 from __future__ import annotations

@@ -1,14 +1,24 @@
 """The paper's studies, declared against the :class:`StudyRegistry`.
 
-Two layers live here:
+Three layers live here:
 
-* **Sweep functions** (``run_*_study`` and friends) — the experiment
-  logic behind each table/figure, importable on their own (the benchmark
-  suite calls them directly).  They used to live in ``runner.py``.
+* **Sweep functions** (``run_*_study`` and friends) — the monolithic
+  experiment logic behind each table/figure, importable on their own
+  (the benchmark suite calls them directly).  They used to live in
+  ``runner.py``.
+* **Spec expansions** — each training study declares how its sweep
+  decomposes into independent
+  :class:`~repro.experiments.orchestrator.RunSpec` s (``specs``) and how
+  the per-spec results reassemble into the sweep's raw output
+  (``collect``).  The :class:`~repro.experiments.orchestrator.SweepOrchestrator`
+  executes the specs — serially by default (bit-identical to the
+  monolithic sweeps), in parallel with ``--jobs``, resumably with
+  ``--resume`` — so no study carries bespoke loop code.
 * **Registry entries** — one :class:`~repro.experiments.registry.Study`
-  per table/figure binding a config preset, a sweep, a summariser, and
-  any study-specific CLI flags.  ``cli.py`` walks :data:`STUDIES` to
-  expose one subcommand per entry; nothing is hand-wired.
+  per table/figure binding a config preset, the spec expansion, a
+  summariser, and any study-specific CLI flags.  ``cli.py`` walks
+  :data:`STUDIES` to expose one subcommand per entry; nothing is
+  hand-wired.
 
 Adding a new study is one ``STUDIES.add(Study(...))`` call.
 """
@@ -41,6 +51,7 @@ from repro.experiments.configs import (
     table6_config,
 )
 from repro.experiments.figures import accuracy_series, series_to_text
+from repro.experiments.orchestrator import RunSpec, SweepOrchestrator
 from repro.experiments.registry import (
     Study,
     StudyFlag,
@@ -49,6 +60,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import (
     ComparisonResult,
+    prepare_environment,
     rounds_summary,
     run_comparison,
     run_single,
@@ -79,6 +91,55 @@ def filter_plan_compatible(
             f"(no asynchronous aggregation support)"
         )
     return kept
+
+
+# --------------------------------------------------------------------------- #
+# Spec-expansion helpers (shared by the studies' specs/collect pairs)
+# --------------------------------------------------------------------------- #
+def comparison_specs(
+    study: str,
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+    stop_at_target: bool = True,
+    prefix: tuple = (),
+) -> list[RunSpec]:
+    """One :class:`RunSpec` per algorithm, all under the same config.
+
+    Each spec re-derives the dataset/partition/model deterministically
+    from the config seed, so executing them independently (any order, any
+    process) reproduces ``run_comparison`` bit for bit.
+    """
+    return [
+        RunSpec(
+            study=study,
+            key=prefix + (spec.label(),),
+            config=config,
+            algorithm=spec,
+            stop_at_target=stop_at_target,
+        )
+        for spec in algorithms
+    ]
+
+
+def collect_comparison(
+    results: "dict[tuple, SimulationResult]",
+    config: ExperimentConfig,
+    prefix: tuple = (),
+    with_stats: bool = False,
+) -> ComparisonResult:
+    """Reassemble per-algorithm results into a :class:`ComparisonResult`.
+
+    ``prefix`` selects the subtree of a nested sweep (e.g. one population
+    of a scale sweep); partition statistics are recomputed on demand (they
+    are a pure function of the config) for the summarisers that print them.
+    """
+    picked = {
+        key[-1]: result
+        for key, result in results.items()
+        if key[: len(prefix)] == prefix
+    }
+    stats = prepare_environment(config)[2] if with_stats else None
+    return ComparisonResult(config=config, results=picked, partition_stats=stats)
 
 
 # --------------------------------------------------------------------------- #
@@ -253,16 +314,11 @@ def _mode_vs_sync_study(
     plan buys: under a heavy-tailed straggler profile it stops paying for
     the slowest client of every round.
     """
-    if config.mode != mode:
-        raise ConfigurationError(
-            f"this study expects a config with mode={mode!r} "
-            f"(see {mode}_config)"
-        )
-    sync_config = config.with_overrides(mode="sync", name=f"{config.name}-sync")
-    mode_config = config.with_overrides(name=f"{config.name}-{mode}")
     return {
-        "sync": run_comparison(sync_config, algorithms, stop_at_target=stop_at_target),
-        mode: run_comparison(mode_config, algorithms, stop_at_target=stop_at_target),
+        setting: run_comparison(
+            setting_config, algorithms, stop_at_target=stop_at_target
+        )
+        for setting, setting_config in _mode_vs_sync_configs(mode, config).items()
     }
 
 
@@ -400,20 +456,33 @@ STUDIES.add(Study(
         request.dataset, num_clients=request.clients,
         non_iid=request.non_iid, scale=request.scale, seed=request.seed,
     ),
-    sweep=lambda config, request: run_comparison(
-        config,
+    specs=lambda config, request: comparison_specs(
+        "table3", config,
         filter_plan_compatible(default_algorithms(admm_rho=request.rho), config.mode),
     ),
+    collect=lambda results, config, request: collect_comparison(results, config),
     summarise=lambda comparison, request: _comparison_report(comparison),
 ))
 
 
-def _table4_sweep(config: ExperimentConfig, request: StudyRequest):
-    return run_local_epochs_study(
-        config,
-        epoch_counts=tuple(request.option("epochs", (1, 5, 10))),
-        rho=request.rho,
-    )
+def _single_run_collect(results, config, request) -> dict:
+    """Flatten ``{(point,): result}`` into the flat ``{point: result}``
+    mapping the per-point summarisers expect, preserving spec order."""
+    return {key[0]: result for key, result in results.items()}
+
+
+def _table4_specs(config: ExperimentConfig, request: StudyRequest) -> list[RunSpec]:
+    return [
+        RunSpec(
+            study="table4",
+            key=(epochs,),
+            config=config.with_overrides(
+                local_epochs=epochs, name=f"{config.name}-E{epochs}"
+            ),
+            algorithm=AlgorithmSpec("fedadmm", {"rho": request.rho}),
+        )
+        for epochs in tuple(request.option("epochs", (1, 5, 10)))
+    ]
 
 
 def _table4_report(results: dict[int, SimulationResult], request: StudyRequest) -> dict:
@@ -432,11 +501,21 @@ STUDIES.add(Study(
         request.dataset, non_iid=request.non_iid, scale=request.scale,
         seed=request.seed,
     ),
-    sweep=_table4_sweep,
+    specs=_table4_specs,
+    collect=_single_run_collect,
     summarise=_table4_report,
     flags=(StudyFlag("--epochs", {"nargs": "+", "type": int,
                                   "help": "local epoch counts E to sweep"}),),
 ))
+
+
+def _table5_algorithms(request: StudyRequest) -> list[AlgorithmSpec]:
+    algorithms = [AlgorithmSpec("fedadmm", {"rho": request.rho})]
+    algorithms.extend(
+        AlgorithmSpec("fedprox", {"rho": rho})
+        for rho in tuple(request.option("prox_rhos", (0.01, 0.1, 1.0)))
+    )
+    return algorithms
 
 
 STUDIES.add(Study(
@@ -446,11 +525,12 @@ STUDIES.add(Study(
         request.dataset, num_clients=request.clients, non_iid=True,
         scale=request.scale, seed=request.seed,
     ),
-    sweep=lambda config, request: run_rho_sensitivity_table(
-        {config.name: config},
-        prox_rhos=tuple(request.option("prox_rhos", (0.01, 0.1, 1.0))),
-        admm_rho=request.rho,
+    specs=lambda config, request: comparison_specs(
+        "table5", config, _table5_algorithms(request), prefix=(config.name,)
     ),
+    collect=lambda results, config, request: {
+        config.name: collect_comparison(results, config, prefix=(config.name,))
+    },
     summarise=lambda table, request: {
         column: _comparison_report(comparison) for column, comparison in table.items()
     },
@@ -464,14 +544,13 @@ def _table6_report(comparison: ComparisonResult, request: StudyRequest) -> dict:
     return _comparison_report(comparison)
 
 
-STUDIES.add(Study(
-    name="table6",
-    description="Table VI / Fig. 10 — imbalanced data volumes",
-    build_config=lambda request: table6_config(
-        request.dataset, scale=request.scale, seed=request.seed
-    ),
-    sweep=lambda config, request: run_imbalanced_study(
-        config,
+def _table6_specs(config: ExperimentConfig, request: StudyRequest) -> list[RunSpec]:
+    if config.partition != "imbalanced":
+        raise ConfigurationError(
+            "the table6 study expects a config using the 'imbalanced' partition"
+        )
+    return comparison_specs(
+        "table6", config,
         filter_plan_compatible(
             [AlgorithmSpec("fedadmm", {"rho": request.rho}),
              AlgorithmSpec("fedavg", {}),
@@ -479,19 +558,57 @@ STUDIES.add(Study(
              AlgorithmSpec("scaffold", {})],
             config.mode,
         ),
+        stop_at_target=False,
+    )
+
+
+STUDIES.add(Study(
+    name="table6",
+    description="Table VI / Fig. 10 — imbalanced data volumes",
+    build_config=lambda request: table6_config(
+        request.dataset, scale=request.scale, seed=request.seed
+    ),
+    specs=_table6_specs,
+    collect=lambda results, config, request: collect_comparison(
+        results, config, with_stats=True
     ),
     summarise=_table6_report,
 ))
 
 
-def _fig3_sweep(config: ExperimentConfig, request: StudyRequest):
-    populations = request.option(
-        "populations", [config.num_clients, config.num_clients * 2]
+def _fig3_populations(config: ExperimentConfig, request: StudyRequest) -> list[int]:
+    return list(
+        request.option("populations", [config.num_clients, config.num_clients * 2])
     )
-    return run_scale_sweep(
-        config, populations,
-        [AlgorithmSpec("fedadmm", {"rho": request.rho}), AlgorithmSpec("fedavg", {})],
+
+
+def _fig3_pop_config(config: ExperimentConfig, population: int) -> ExperimentConfig:
+    return config.with_overrides(
+        num_clients=population, name=f"{config.name}-m{population}"
     )
+
+
+def _fig3_specs(config: ExperimentConfig, request: StudyRequest) -> list[RunSpec]:
+    algorithms = [
+        AlgorithmSpec("fedadmm", {"rho": request.rho}), AlgorithmSpec("fedavg", {}),
+    ]
+    return [
+        spec
+        for population in _fig3_populations(config, request)
+        for spec in comparison_specs(
+            "fig3", _fig3_pop_config(config, population), algorithms,
+            prefix=(population,),
+        )
+    ]
+
+
+def _fig3_collect(results, config: ExperimentConfig, request: StudyRequest):
+    return {
+        population: collect_comparison(
+            results, _fig3_pop_config(config, population), prefix=(population,)
+        )
+        for population in _fig3_populations(config, request)
+    }
 
 
 STUDIES.add(Study(
@@ -501,7 +618,8 @@ STUDIES.add(Study(
         request.dataset, non_iid=request.non_iid, scale=request.scale,
         seed=request.seed,
     ),
-    sweep=_fig3_sweep,
+    specs=_fig3_specs,
+    collect=_fig3_collect,
     summarise=lambda sweeps, request: {
         str(population): _comparison_report(comparison)
         for population, comparison in sweeps.items()
@@ -511,39 +629,84 @@ STUDIES.add(Study(
 ))
 
 
-def _fig5_sweep(config: None, request: StudyRequest):
+def _fig5_configs(request: StudyRequest) -> dict[str, ExperimentConfig]:
     # fig5 runs the *pair* of IID and non-IID configs, so it owns config
     # construction itself (build_config returns None, like table1).
-    config_iid = request.apply_overrides(
-        fig5_config(request.dataset, non_iid=False, scale=request.scale,
-                    seed=request.seed)
-    )
-    config_non_iid = request.apply_overrides(
-        fig5_config(request.dataset, non_iid=True, scale=request.scale,
-                    seed=request.seed)
-    )
-    return run_heterogeneity_comparison(
-        config_iid, config_non_iid,
-        filter_plan_compatible(
-            [AlgorithmSpec("fedadmm", {"rho": request.rho}),
-             AlgorithmSpec("fedavg", {}),
-             AlgorithmSpec("fedprox", {"rho": 0.1}),
-             AlgorithmSpec("scaffold", {})],
-            config_iid.mode,
+    return {
+        "iid": request.apply_overrides(
+            fig5_config(request.dataset, non_iid=False, scale=request.scale,
+                        seed=request.seed)
         ),
+        "non_iid": request.apply_overrides(
+            fig5_config(request.dataset, non_iid=True, scale=request.scale,
+                        seed=request.seed)
+        ),
+    }
+
+
+def _fig5_specs(config: None, request: StudyRequest) -> list[RunSpec]:
+    configs = _fig5_configs(request)
+    algorithms = filter_plan_compatible(
+        [AlgorithmSpec("fedadmm", {"rho": request.rho}),
+         AlgorithmSpec("fedavg", {}),
+         AlgorithmSpec("fedprox", {"rho": 0.1}),
+         AlgorithmSpec("scaffold", {})],
+        configs["iid"].mode,
     )
+    return [
+        spec
+        for setting, setting_config in configs.items()
+        for spec in comparison_specs(
+            "fig5", setting_config, algorithms, prefix=(setting,)
+        )
+    ]
+
+
+def _fig5_collect(results, config: None, request: StudyRequest):
+    return {
+        setting: collect_comparison(results, setting_config, prefix=(setting,))
+        for setting, setting_config in _fig5_configs(request).items()
+    }
 
 
 STUDIES.add(Study(
     name="fig5",
     description="Fig. 5    — IID vs non-IID adaptability",
     build_config=lambda request: None,
-    sweep=_fig5_sweep,
+    specs=_fig5_specs,
+    collect=_fig5_collect,
     summarise=lambda outcome, request: {
         setting: _comparison_report(comparison)
         for setting, comparison in outcome.items()
     },
 ))
+
+
+def _fig6_specs(config: ExperimentConfig, request: StudyRequest) -> list[RunSpec]:
+    specs = [
+        RunSpec(
+            study="fig6",
+            key=(f"eta={eta}",),
+            config=config,
+            algorithm=AlgorithmSpec(
+                "fedadmm", {"rho": request.rho, "server_step_size": eta}
+            ),
+            stop_at_target=False,
+        )
+        for eta in tuple(request.option("etas", (0.5, 1.0, 1.5)))
+    ]
+    switch_round = config.num_rounds // 2
+    policy = PiecewiseStepSize(values=[1.0, 0.5], boundaries=[switch_round])
+    specs.append(RunSpec(
+        study="fig6",
+        key=(f"eta=1.0->0.5@{switch_round}",),
+        config=config,
+        algorithm=AlgorithmSpec(
+            "fedadmm", {"rho": request.rho, "server_step_size": policy}
+        ),
+        stop_at_target=False,
+    ))
+    return specs
 
 
 STUDIES.add(Study(
@@ -553,16 +716,29 @@ STUDIES.add(Study(
         request.dataset, non_iid=request.non_iid, scale=request.scale,
         seed=request.seed,
     ),
-    sweep=lambda config, request: run_server_stepsize_study(
-        config,
-        etas=tuple(request.option("etas", (0.5, 1.0, 1.5))),
-        switch_round=config.num_rounds // 2,
-        rho=request.rho,
-    ),
+    specs=_fig6_specs,
+    collect=_single_run_collect,
     summarise=lambda results, request: _series_report(results),
     flags=(StudyFlag("--etas", {"nargs": "+", "type": float,
                                 "help": "server step sizes to sweep"}),),
 ))
+
+
+def _fig8_specs(config: ExperimentConfig, request: StudyRequest) -> list[RunSpec]:
+    return [
+        RunSpec(
+            study="fig8",
+            key=(f"{label}-eta={eta}",),
+            config=config,
+            algorithm=AlgorithmSpec(
+                "fedadmm",
+                {"rho": request.rho, "server_step_size": eta, "warm_start": warm_start},
+            ),
+            stop_at_target=False,
+        )
+        for eta in tuple(request.option("etas", (1.0, 0.5)))
+        for warm_start, label in ((True, "I-warm"), (False, "II-restart"))
+    ]
 
 
 STUDIES.add(Study(
@@ -571,13 +747,37 @@ STUDIES.add(Study(
     build_config=lambda request: fig8_config(
         request.dataset, non_iid=True, scale=request.scale, seed=request.seed
     ),
-    sweep=lambda config, request: run_local_init_study(
-        config, etas=tuple(request.option("etas", (1.0, 0.5))), rho=request.rho
-    ),
+    specs=_fig8_specs,
+    collect=_single_run_collect,
     summarise=lambda results, request: _series_report(results),
     flags=(StudyFlag("--etas", {"nargs": "+", "type": float,
                                 "help": "server step sizes to sweep"}),),
 ))
+
+
+def _fig9_specs(config: ExperimentConfig, request: StudyRequest) -> list[RunSpec]:
+    specs = [
+        RunSpec(
+            study="fig9",
+            key=(f"rho={rho}",),
+            config=config,
+            algorithm=AlgorithmSpec("fedadmm", {"rho": rho}),
+            stop_at_target=False,
+        )
+        for rho in (request.rho / 3, request.rho)
+    ]
+    switch_round = config.num_rounds // 2
+    schedule = PiecewiseRho(
+        values=[request.rho / 3, request.rho], boundaries=[switch_round]
+    )
+    specs.append(RunSpec(
+        study="fig9",
+        key=(f"rho={request.rho / 3}->{request.rho}@{switch_round}",),
+        config=config,
+        algorithm=AlgorithmSpec("fedadmm", {"rho": schedule}),
+        stop_at_target=False,
+    ))
+    return specs
 
 
 STUDIES.add(Study(
@@ -586,31 +786,47 @@ STUDIES.add(Study(
     build_config=lambda request: fig9_config(
         request.dataset, non_iid=True, scale=request.scale, seed=request.seed
     ),
-    sweep=lambda config, request: run_rho_schedule_study(
-        config,
-        constant_rhos=(request.rho / 3, request.rho),
-        switch_round=config.num_rounds // 2,
-        switch_values=(request.rho / 3, request.rho),
-    ),
+    specs=_fig9_specs,
+    collect=_single_run_collect,
     summarise=lambda results, request: _series_report(results),
 ))
 
 
-def _systems_sweep(config: ExperimentConfig, request: StudyRequest):
-    rates = request.option(
+def _systems_rates(config: ExperimentConfig, request: StudyRequest) -> tuple[float, ...]:
+    return tuple(request.option(
         "dropout_rates",
         (0.0, config.dropout) if config.dropout > 0 else (0.0,),
+    ))
+
+
+def _systems_rate_config(config: ExperimentConfig, rate: float) -> ExperimentConfig:
+    return config.with_overrides(dropout=rate, name=f"{config.name}-dropout{rate}")
+
+
+def _systems_specs(config: ExperimentConfig, request: StudyRequest) -> list[RunSpec]:
+    algorithms = filter_plan_compatible(
+        [AlgorithmSpec("fedadmm", {"rho": request.rho}),
+         AlgorithmSpec("fedavg", {}),
+         AlgorithmSpec("scaffold", {})],
+        config.mode,
     )
-    return run_systems_study(
-        config,
-        filter_plan_compatible(
-            [AlgorithmSpec("fedadmm", {"rho": request.rho}),
-             AlgorithmSpec("fedavg", {}),
-             AlgorithmSpec("scaffold", {})],
-            config.mode,
-        ),
-        dropout_rates=tuple(rates),
-    )
+    return [
+        spec
+        for rate in _systems_rates(config, request)
+        for spec in comparison_specs(
+            "systems", _systems_rate_config(config, rate), algorithms,
+            stop_at_target=False, prefix=(rate,),
+        )
+    ]
+
+
+def _systems_collect(results, config: ExperimentConfig, request: StudyRequest):
+    return {
+        rate: collect_comparison(
+            results, _systems_rate_config(config, rate), prefix=(rate,)
+        )
+        for rate in _systems_rates(config, request)
+    }
 
 
 def _systems_report(studies: dict[float, ComparisonResult], request: StudyRequest) -> dict:
@@ -638,11 +854,56 @@ STUDIES.add(Study(
         request.dataset, non_iid=request.non_iid, scale=request.scale,
         seed=request.seed,
     ),
-    sweep=_systems_sweep,
+    specs=_systems_specs,
+    collect=_systems_collect,
     summarise=_systems_report,
     flags=(StudyFlag("--dropout-rates", {"nargs": "+", "type": float,
                                          "help": "dropout rates to sweep"}),),
 ))
+
+
+def _mode_vs_sync_configs(
+    mode: str, config: ExperimentConfig
+) -> dict[str, ExperimentConfig]:
+    """The (sync, buffered-mode) config pair behind the async/semisync studies."""
+    if config.mode != mode:
+        raise ConfigurationError(
+            f"this study expects a config with mode={mode!r} "
+            f"(see {mode}_config)"
+        )
+    return {
+        "sync": config.with_overrides(mode="sync", name=f"{config.name}-sync"),
+        mode: config.with_overrides(name=f"{config.name}-{mode}"),
+    }
+
+
+def _mode_vs_sync_specs(
+    study: str,
+    mode: str,
+    config: ExperimentConfig,
+    algorithms: Sequence[AlgorithmSpec],
+) -> list[RunSpec]:
+    return [
+        spec
+        for setting, setting_config in _mode_vs_sync_configs(mode, config).items()
+        for spec in comparison_specs(
+            study, setting_config, algorithms, prefix=(setting,)
+        )
+    ]
+
+
+def _mode_vs_sync_collect(mode: str, results, config: ExperimentConfig):
+    return {
+        setting: collect_comparison(results, setting_config, prefix=(setting,))
+        for setting, setting_config in _mode_vs_sync_configs(mode, config).items()
+    }
+
+
+def _async_algorithms(request: StudyRequest) -> list[AlgorithmSpec]:
+    return [
+        AlgorithmSpec("fedadmm", {"rho": request.rho}), AlgorithmSpec("fedavg", {}),
+        AlgorithmSpec("fedprox", {"rho": 0.1}),
+    ]
 
 
 STUDIES.add(Study(
@@ -652,11 +913,11 @@ STUDIES.add(Study(
         request.dataset, non_iid=request.non_iid, scale=request.scale,
         seed=request.seed,
     ),
-    sweep=lambda config, request: run_async_study(
-        config,
-        [AlgorithmSpec("fedadmm", {"rho": request.rho}), AlgorithmSpec("fedavg", {}),
-         AlgorithmSpec("fedprox", {"rho": 0.1})],
-        stop_at_target=True,
+    specs=lambda config, request: _mode_vs_sync_specs(
+        "async", "async", config, _async_algorithms(request)
+    ),
+    collect=lambda results, config, request: _mode_vs_sync_collect(
+        "async", results, config
     ),
     summarise=lambda studies, request: _mode_comparison_rows(studies),
 ))
@@ -684,16 +945,29 @@ STUDIES.add(Study(
         request.dataset, non_iid=request.non_iid, scale=request.scale,
         seed=request.seed,
     ),
-    sweep=lambda config, request: run_semisync_study(
-        config,
+    specs=lambda config, request: _mode_vs_sync_specs(
+        "semisync", "semisync", config,
         [AlgorithmSpec("fedadmm", {"rho": request.rho}),
          AlgorithmSpec("fedavg", {})],
-        stop_at_target=True,
+    ),
+    collect=lambda results, config, request: _mode_vs_sync_collect(
+        "semisync", results, config
     ),
     summarise=_semisync_report,
 ))
 
 
-def run_study(name: str, request: StudyRequest | None = None) -> dict:
-    """Execute one registered study end to end (the library entry point)."""
-    return STUDIES.run(name, request)
+def run_study(
+    name: str,
+    request: StudyRequest | None = None,
+    orchestrator: SweepOrchestrator | None = None,
+) -> dict:
+    """Execute one registered study end to end (the library entry point).
+
+    Pass a configured :class:`SweepOrchestrator` to run the study's sweep
+    points in parallel (``jobs=N``) and/or resumably against a persistent
+    :class:`~repro.experiments.store.ExperimentStore`; with ``None`` the
+    sweep runs serially in-process, bit-identical to the historical
+    hand-written loops.
+    """
+    return STUDIES.run(name, request, orchestrator=orchestrator)

@@ -175,3 +175,85 @@ class TestCliRuns:
 
         with pytest.raises(ValueError):
             run_experiment("not-an-experiment", Args())
+
+
+class TestCliOrchestration:
+    TABLE4 = ["table4", "--dataset", "blobs", "--clients", "8", "--rounds", "2",
+              "--epochs", "1", "5"]
+
+    def test_plain_invocations_print_no_progress_lines(self, capsys):
+        assert main(self.TABLE4) == 0
+        assert "[1/" not in capsys.readouterr().out
+
+    def test_jobs_and_store_dir_stream_progress_and_persist(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        code = main(self.TABLE4 + ["--jobs", "2", "--store-dir", store_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out and "done" in out
+        assert (tmp_path / "store" / "runs.jsonl").exists()
+
+    def test_resume_skips_done_points(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(self.TABLE4 + ["--store-dir", store_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(self.TABLE4 + ["--store-dir", store_dir, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert second.count("skipped") == 2
+        # The resumed (fully cached) payload prints the same report.
+        assert first.splitlines()[-3:] == second.splitlines()[-3:]
+
+    def test_runs_list_show_clean_cycle(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(self.TABLE4 + ["--store-dir", store_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "done=2" in out and "table4" in out
+        key = next(
+            line.split("|")[0].strip()
+            for line in out.splitlines()
+            if "table4" in line
+        )
+
+        assert main(["runs", "show", key, "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "rounds_run" in out and "final_accuracy" in out
+
+        assert main(["runs", "clean", "--store-dir", store_dir,
+                     "--status", "done"]) == 0
+        assert "dropped 2" in capsys.readouterr().out
+        assert main(["runs", "list", "--store-dir", store_dir]) == 0
+        assert "done=0" in capsys.readouterr().out
+
+    def test_runs_show_unknown_key_fails(self, tmp_path, capsys):
+        assert main(["runs", "show", "nope",
+                     "--store-dir", str(tmp_path / "s")]) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_runs_show_without_key_fails(self, tmp_path, capsys):
+        assert main(["runs", "show",
+                     "--store-dir", str(tmp_path / "s")]) == 2
+        assert "needs a run key" in capsys.readouterr().err
+
+    def test_runs_clean_default_keeps_done(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(self.TABLE4 + ["--store-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["runs", "clean", "--store-dir", store_dir]) == 0
+        assert "dropped 0" in capsys.readouterr().out
+
+    def test_resume_without_store_dir_uses_default(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(self.TABLE4 + ["--resume"]) == 0
+        assert (tmp_path / ".repro_runs" / "runs.jsonl").exists()
+        capsys.readouterr()
+        assert main(self.TABLE4 + ["--resume"]) == 0
+        assert capsys.readouterr().out.count("skipped") == 2
+
+    def test_non_positive_jobs_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="jobs must be positive"):
+            main(self.TABLE4 + ["--jobs", "0"])

@@ -1,0 +1,64 @@
+"""CI entry point for the benchmark-regression gate.
+
+Compares the freshly generated ``benchmarks/results/BENCH_*.json``
+summaries against the committed ``benchmarks/baselines/`` references and
+exits non-zero when any gated metric regressed beyond the tolerance (20%
+by default).  Run the gated benchmarks first::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_vectorized_clients.py -q
+    python benchmarks/check_regressions.py
+
+Intentional regressions: refresh the baselines
+(``python benchmarks/refresh_baselines.py``), commit them, and label the
+PR ``allow-bench-regression`` so CI skips this gate for that PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_utils import (  # noqa: E402 - path bootstrap above
+    BASELINES_DIR,
+    DEFAULT_TOLERANCE,
+    RESULTS_DIR,
+    compare_to_baseline,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir", type=Path, default=RESULTS_DIR)
+    parser.add_argument("--baselines-dir", type=Path, default=BASELINES_DIR)
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative regression allowed per metric (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+    failures = compare_to_baseline(
+        results_dir=args.results_dir,
+        baselines_dir=args.baselines_dir,
+        tolerance=args.tolerance,
+    )
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        print(
+            "\nIf the regression is intentional, refresh the baselines "
+            "(python benchmarks/refresh_baselines.py), commit them, and "
+            "label the PR 'allow-bench-regression'."
+        )
+        return 1
+    print(
+        f"benchmark regression gate passed "
+        f"(tolerance {args.tolerance:.0%}, baselines: {args.baselines_dir})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Refresh the committed benchmark baselines from fresh results.
+
+Copies ``benchmarks/results/BENCH_*.json`` into ``benchmarks/baselines/``,
+stripping machine-dependent absolute timings (``*seconds`` leaves and
+``cpu_count``) so the committed references gate only numbers that are
+stable across machines: speedup ratios, rounds-to-target, accuracies.
+Pass ``--include-wall`` to keep the absolute timings too (useful for a
+dedicated, fixed-hardware perf runner).
+
+Typical use after an intentional perf/metric change::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_vectorized_clients.py -q
+    python benchmarks/refresh_baselines.py
+    git add benchmarks/baselines/ && git commit
+
+By default only benchmarks that already have a committed baseline are
+refreshed; pass ``--all`` to baseline every fresh result, or name specific
+files as positional arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_utils import BASELINES_DIR, RESULTS_DIR  # noqa: E402
+
+
+def strip_machine_dependent(payload):
+    """Drop wall-clock (``*seconds*``) / ``cpu_count`` keys, recursively.
+
+    Substring match, not suffix: keys like ``resume_seconds_for_remaining``
+    are absolute timings too.  Simulated-time metrics are not affected —
+    summaries report those under ``sim_minutes`` / ``*_to_target`` names.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: strip_machine_dependent(value)
+            for key, value in payload.items()
+            if not ("seconds" in key or key == "cpu_count")
+        }
+    if isinstance(payload, list):
+        return [strip_machine_dependent(item) for item in payload]
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names", nargs="*",
+        help="specific BENCH_*.json files to refresh (default: those "
+             "already baselined)",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="baseline every fresh result file")
+    parser.add_argument("--include-wall", action="store_true",
+                        help="keep machine-dependent absolute timings")
+    args = parser.parse_args(argv)
+
+    fresh = {path.name: path for path in sorted(RESULTS_DIR.glob("BENCH_*.json"))}
+    if not fresh:
+        print(f"no fresh results under {RESULTS_DIR}; run the benchmarks first")
+        return 1
+    if args.names:
+        wanted = set(args.names)
+    elif args.all:
+        wanted = set(fresh)
+    else:
+        wanted = {path.name for path in BASELINES_DIR.glob("BENCH_*.json")}
+        if not wanted:
+            print(
+                f"no existing baselines under {BASELINES_DIR}; "
+                f"pass --all or name files explicitly"
+            )
+            return 1
+
+    missing = sorted(wanted - set(fresh))
+    if missing:
+        print(f"missing fresh results for: {', '.join(missing)}")
+        return 1
+
+    BASELINES_DIR.mkdir(parents=True, exist_ok=True)
+    for name in sorted(wanted):
+        payload = json.loads(fresh[name].read_text())
+        if not args.include_wall:
+            payload = strip_machine_dependent(payload)
+        target = BASELINES_DIR / name
+        target.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"refreshed {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,12 +71,22 @@ def _flags(study) -> str:
     )
 
 
+def _support(study) -> str:
+    """Supported execution-plan modes and executors, from the registry."""
+    if not study.modes and not study.executors:
+        return "— (no training)"
+    return (
+        f"modes: {', '.join(f'`{m}`' for m in study.modes)}"
+        f"<br>executors: {', '.join(f'`{e}`' for e in study.executors)}"
+    )
+
+
 def generate() -> str:
     lines = [HEADER]
     lines.append(
-        "| Study | Reproduces | Description | Sweep points | Extra flags |"
+        "| Study | Reproduces | Description | Sweep points | Supports | Extra flags |"
     )
-    lines.append("|---|---|---|---|---|")
+    lines.append("|---|---|---|---|---|---|")
     for study in STUDIES:
         summary = study.description.split("—", 1)[-1].strip()
         lines.append(
@@ -84,6 +94,7 @@ def generate() -> str:
             f"| {_artefact(study.description)} "
             f"| {summary} "
             f"| {_sweep_points(study)} "
+            f"| {_support(study)} "
             f"| {_flags(study)} |"
         )
     lines.append("")

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
     from repro.federated.local_problem import LocalProblem
     from repro.federated.messages import ClientMessage
     from repro.federated.staleness import StaleUpdate
+    from repro.nn.batched import BatchedCohort
 
 
 @dataclass
@@ -68,6 +69,22 @@ class FederatedAlgorithm:
     #: whose server state is inherently lock-step (SCAFFOLD's control
     #: variate, FedPD's per-round communication coin) opt out.
     supports_async = True
+
+    #: Whether :meth:`batched_local_update` is implemented, i.e. the
+    #: :class:`~repro.systems.executor.VectorizedExecutor` may run a whole
+    #: same-shape cohort of this algorithm's clients as stacked NumPy
+    #: operations.  Algorithms whose local update is not a pure function of
+    #: ``(start, batches, extra gradient term)`` — SCAFFOLD's control
+    #: variates, FedPD's communication coin — leave this ``False`` and are
+    #: executed per client even under the vectorized executor.
+    supports_batched = False
+
+    #: Whether :meth:`local_update` consumes the mini-batch shuffling RNG.
+    #: The vectorized executor pre-draws each task's epoch permutations in
+    #: task order so its RNG stream consumption matches the serial
+    #: executor's; full-gradient methods (FedSGD) never shuffle and must
+    #: not trigger those draws.
+    shuffles_minibatches = True
 
     @classmethod
     def supports_plan(cls, plan_name: str) -> bool:
@@ -124,6 +141,67 @@ class FederatedAlgorithm:
     ) -> np.ndarray:
         """Combine client messages into the next global model."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Vectorized cohort execution (see repro.systems.executor)
+    # ------------------------------------------------------------------ #
+    def batched_local_update(
+        self,
+        cohort: BatchedCohort,
+        clients: list[ClientState],
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+    ) -> list[ClientMessage]:
+        """Run every cohort member's local update as stacked NumPy ops.
+
+        ``cohort`` stacks the clients' datasets (and pre-drawn epoch
+        shuffles) along a leading client axis; ``clients`` is the aligned
+        list of :class:`ClientState` objects whose persistent variables and
+        participation counters must be mutated exactly as
+        :meth:`local_update` would.  Returns one :class:`ClientMessage` per
+        cohort member, in cohort order.  Only called when
+        ``supports_batched`` is true.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batched execution"
+        )
+
+    def build_cohort_messages(
+        self,
+        clients: list[ClientState],
+        cohort: BatchedCohort,
+        local_epochs: int,
+        train_losses: np.ndarray,
+        payload_for,
+        metadata: dict | None = None,
+    ) -> list[ClientMessage]:
+        """Shared upload assembly for every ``batched_local_update``.
+
+        Records each client's participation and builds its
+        :class:`ClientMessage` exactly as the serial ``local_update``
+        paths do; ``payload_for(index)`` supplies the algorithm-specific
+        payload for cohort member ``index``.  Keeping this in one place
+        means cohort bookkeeping (participation accounting, sample
+        counts) cannot drift between the batched algorithms.
+        """
+        from repro.federated.messages import ClientMessage
+
+        messages = []
+        for index, client in enumerate(clients):
+            client.record_participation(local_epochs)
+            messages.append(
+                ClientMessage(
+                    client_id=client.client_id,
+                    payload=payload_for(index),
+                    num_samples=cohort.num_samples,
+                    local_epochs=local_epochs,
+                    train_loss=float(train_losses[index]),
+                    metadata=dict(metadata) if metadata else {},
+                )
+            )
+        return messages
 
     # ------------------------------------------------------------------ #
     # Buffered aggregation (see repro.federated.plans)

@@ -68,6 +68,7 @@ class FedADMM(FederatedAlgorithm):
     """The paper's primal-dual federated learning algorithm."""
 
     name = "fedadmm"
+    supports_batched = True
 
     def __init__(
         self,
@@ -132,6 +133,57 @@ class FedADMM(FederatedAlgorithm):
             num_samples=problem.num_samples,
             local_epochs=config.epochs,
             train_loss=result.train_loss,
+            metadata={"rho": rho},
+        )
+
+    def batched_local_update(
+        self,
+        cohort,
+        clients: list[ClientState],
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+    ) -> list[ClientMessage]:
+        """Stacked Algorithm 1 ClientUpdate: one SGD sweep for the cohort.
+
+        The per-client state reads/writes, the dual update, and the Δ_i
+        assembly follow :func:`repro.core.admm_client.admm_client_update`
+        operation for operation, just with a leading client axis.
+        """
+        from repro.nn.batched import batched_run_local_sgd
+
+        rho = self.rho_schedule.value(round_index)
+        if rho <= 0:
+            raise ConfigurationError(f"FedADMM requires rho > 0, got {rho}")
+        for client in clients:
+            self.init_client_state(client, global_params)
+        theta = global_params[None, :]
+        w_old = np.stack([client.get("w") for client in clients])
+        if self.use_duals:
+            y_old = np.stack([client.get("y") for client in clients])
+        else:
+            y_old = np.zeros_like(w_old)
+        start = w_old if self.warm_start else np.broadcast_to(
+            global_params, w_old.shape
+        )
+
+        def extra_grad(params: np.ndarray) -> np.ndarray:
+            return y_old + rho * (params - theta)
+
+        w_new, losses = batched_run_local_sgd(
+            cohort, start, config, extra_grad=extra_grad
+        )
+        y_new = y_old + rho * (w_new - theta)
+        delta = (w_new + y_new / rho) - (w_old + y_old / rho)
+
+        for index, client in enumerate(clients):
+            client.set("w", w_new[index])
+            if self.use_duals:
+                client.set("y", y_new[index])
+        return self.build_cohort_messages(
+            clients, cohort, config.epochs, losses,
+            lambda index: {"delta": delta[index].copy()},
             metadata={"rho": rho},
         )
 

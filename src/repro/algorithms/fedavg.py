@@ -28,6 +28,7 @@ class FedAvg(FederatedAlgorithm):
     """Local SGD from the global model, plain model averaging at the server."""
 
     name = "fedavg"
+    supports_batched = True
 
     def __init__(self, weighting: str = "uniform"):
         if weighting not in ("uniform", "samples"):
@@ -54,6 +55,24 @@ class FedAvg(FederatedAlgorithm):
             num_samples=problem.num_samples,
             local_epochs=config.epochs,
             train_loss=train_loss,
+        )
+
+    def batched_local_update(
+        self,
+        cohort,
+        clients: list[ClientState],
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+    ) -> list[ClientMessage]:
+        from repro.nn.batched import batched_run_local_sgd
+
+        start = np.broadcast_to(global_params, (len(clients), global_params.size))
+        params, losses = batched_run_local_sgd(cohort, start, config)
+        return self.build_cohort_messages(
+            clients, cohort, config.epochs, losses,
+            lambda index: {"params": params[index].copy()},
         )
 
     def aggregate(

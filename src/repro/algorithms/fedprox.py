@@ -29,6 +29,7 @@ class FedProx(FederatedAlgorithm):
     """FedAvg plus a quadratic proximal term in the local objective."""
 
     name = "fedprox"
+    supports_batched = True
 
     def __init__(self, rho: float = 0.1, weighting: str = "uniform"):
         if rho < 0:
@@ -66,6 +67,32 @@ class FedProx(FederatedAlgorithm):
             num_samples=problem.num_samples,
             local_epochs=config.epochs,
             train_loss=train_loss,
+        )
+
+    def batched_local_update(
+        self,
+        cohort,
+        clients: list[ClientState],
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+    ) -> list[ClientMessage]:
+        from repro.nn.batched import batched_run_local_sgd
+
+        theta = global_params[None, :]
+        rho = self.rho
+
+        def extra_grad(params: np.ndarray) -> np.ndarray:
+            return rho * (params - theta)
+
+        start = np.broadcast_to(global_params, (len(clients), global_params.size))
+        params, losses = batched_run_local_sgd(
+            cohort, start, config, extra_grad=extra_grad
+        )
+        return self.build_cohort_messages(
+            clients, cohort, config.epochs, losses,
+            lambda index: {"params": params[index].copy()},
         )
 
     def aggregate(

@@ -22,6 +22,10 @@ class FedSGD(FederatedAlgorithm):
     """Distributed synchronous SGD over the selected clients."""
 
     name = "fedsgd"
+    supports_batched = True
+    # One exact full-dataset gradient per round: no mini-batch shuffling,
+    # so the vectorized executor must not pre-draw epoch permutations.
+    shuffles_minibatches = False
 
     def __init__(self, server_learning_rate: float = 0.1):
         if server_learning_rate <= 0:
@@ -48,6 +52,23 @@ class FedSGD(FederatedAlgorithm):
             num_samples=problem.num_samples,
             local_epochs=1,
             train_loss=loss_value,
+        )
+
+    def batched_local_update(
+        self,
+        cohort,
+        clients: list[ClientState],
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+    ) -> list[ClientMessage]:
+        losses, grads = cohort.full_loss_and_grad(global_params)
+        # One exact gradient per round: local_epochs is 1 regardless of
+        # the config, exactly as in the serial local_update.
+        return self.build_cohort_messages(
+            clients, cohort, 1, losses,
+            lambda index: {"gradient": grads[index].copy()},
         )
 
     def aggregate(

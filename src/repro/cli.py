@@ -30,6 +30,7 @@ import argparse
 import sys
 from typing import Any
 
+from repro.exceptions import ConfigurationError
 from repro.experiments.orchestrator import SpecEvent, SweepOrchestrator
 from repro.experiments.registry import StudyRequest
 from repro.experiments.store import ExperimentStore, RunStatus
@@ -78,7 +79,8 @@ def _shared_flags() -> argparse.ArgumentParser:
                          help="per-client bandwidth/latency/compute model "
                               "producing simulated round durations")
     systems.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
-                         help="how local updates run: serial, thread, or process pool")
+                         help="how local updates run: serial, thread/process "
+                              "pool, or vectorized (stacked-NumPy cohorts)")
     plan = common.add_argument_group(
         "execution plan (see repro.federated.plans)")
     plan.add_argument("--mode", default=None,
@@ -253,10 +255,21 @@ def handle_runs(args: Any) -> int:
     return 0
 
 
+def _support_summary(study) -> str:
+    """One-line modes/executors support summary for a study listing."""
+    if not study.modes and not study.executors:
+        return "closed form (no training; plan/executor flags rejected)"
+    return (
+        f"modes: {'|'.join(study.modes)}   "
+        f"executors: {'|'.join(study.executors)}"
+    )
+
+
 def _print_listing() -> None:
     print("Available experiments:\n")
-    for name, description in sorted(EXPERIMENTS.items()):
-        print(f"  {name:8s} {description}")
+    for study in sorted(STUDIES, key=lambda s: s.name):
+        print(f"  {study.name:8s} {study.description}")
+        print(f"  {'':8s}   {_support_summary(study)}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -268,7 +281,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "runs":
         return handle_runs(args)
-    result = run_experiment(args.experiment, args)
+    try:
+        result = run_experiment(args.experiment, args)
+    except ConfigurationError as exc:
+        # Fail fast with one clear line on unsupported flag combinations
+        # (e.g. `--mode sync` on the async study) instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.output:
         path = save_json(to_jsonable(result), args.output)
         print(f"\nSaved raw results to {path}")

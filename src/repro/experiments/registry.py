@@ -32,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.orchestrator import RunSpec, SweepOrchestrator
     from repro.federated.engine import SimulationResult
 
+#: Every execution-plan mode / client executor the runtime ships.  Studies
+#: default to supporting all of them; a test pins these against the live
+#: ``PLAN_REGISTRY`` / ``EXECUTOR_REGISTRY`` so the registry cannot drift.
+ALL_MODES = ("sync", "semisync", "async")
+ALL_EXECUTORS = ("serial", "thread", "process", "vectorized")
+
 #: Config fields the shared CLI flags override after the preset is built;
 #: ``None`` values mean "flag not given, keep the preset's value".
 OVERRIDE_FIELDS = (
@@ -160,6 +166,13 @@ class Study:
         Callable[["dict[tuple, SimulationResult]", ExperimentConfig | None, StudyRequest], Any]
         | None
     ) = None
+    #: Execution-plan modes a request may select for this study via
+    #: ``--mode``.  An empty tuple means the study runs no federated
+    #: training at all (closed-form tables) and any plan/executor flag is
+    #: rejected up front.
+    modes: tuple[str, ...] = ALL_MODES
+    #: Client executors a request may select via ``--executor``.
+    executors: tuple[str, ...] = ALL_EXECUTORS
 
     def __post_init__(self) -> None:
         if self.summarise is None:
@@ -167,6 +180,39 @@ class Study:
         if self.sweep is None and (self.specs is None or self.collect is None):
             raise ConfigurationError(
                 f"study {self.name!r} needs either a sweep or a specs+collect pair"
+            )
+        for mode in self.modes:
+            if mode not in ALL_MODES:
+                raise ConfigurationError(
+                    f"study {self.name!r} declares unknown mode {mode!r}"
+                )
+        for executor in self.executors:
+            if executor not in ALL_EXECUTORS:
+                raise ConfigurationError(
+                    f"study {self.name!r} declares unknown executor {executor!r}"
+                )
+
+    def check_request(self, request: StudyRequest) -> None:
+        """Fail fast on plan/executor flags this study cannot honour.
+
+        Raises :class:`ConfigurationError` before any dataset is built or
+        round runs, so ``repro <study> --mode ...`` with an unsupported
+        combination dies with one clear line instead of deep in the
+        pipeline (or, worse, silently reconfiguring the sweep).
+        """
+        requested_mode = request.overrides.get("mode")
+        if requested_mode is not None and requested_mode not in self.modes:
+            raise ConfigurationError(
+                f"study {self.name!r} does not support --mode {requested_mode}; "
+                f"supported modes: "
+                f"{', '.join(self.modes) or 'none (closed form, no training)'}"
+            )
+        requested_executor = request.overrides.get("executor")
+        if requested_executor is not None and requested_executor not in self.executors:
+            raise ConfigurationError(
+                f"study {self.name!r} does not support --executor "
+                f"{requested_executor}; supported executors: "
+                f"{', '.join(self.executors) or 'none (closed form, no training)'}"
             )
 
     @property
@@ -233,6 +279,7 @@ class StudyRegistry:
         """
         study = self.get(name)
         request = request if request is not None else StudyRequest()
+        study.check_request(request)
         config = study.build_config(request)
         if config is not None:
             config = request.apply_overrides(config)

@@ -446,6 +446,9 @@ STUDIES.add(Study(
     build_config=lambda request: None,
     sweep=_table1_sweep,
     summarise=_print_rows,
+    # Closed form: no federated training, so no plan or executor applies.
+    modes=(),
+    executors=(),
 ))
 
 
@@ -920,6 +923,9 @@ STUDIES.add(Study(
         "async", results, config
     ),
     summarise=lambda studies, request: _mode_comparison_rows(studies),
+    # The study *is* the sync-vs-async pair; overriding the mode would
+    # break the comparison, so only the preset's own mode is accepted.
+    modes=("async",),
 ))
 
 
@@ -954,6 +960,8 @@ STUDIES.add(Study(
         "semisync", results, config
     ),
     summarise=_semisync_report,
+    # Like the async study: the sync-vs-semisync pair is the experiment.
+    modes=("semisync",),
 ))
 
 

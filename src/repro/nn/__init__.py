@@ -31,8 +31,18 @@ from repro.nn.models import (
     MODEL_REGISTRY,
 )
 from repro.nn.gradcheck import numerical_gradient, check_gradients
+from repro.nn.batched import (
+    BatchedCohort,
+    BatchedModel,
+    batched_run_local_sgd,
+    build_batched_model,
+)
 
 __all__ = [
+    "BatchedCohort",
+    "BatchedModel",
+    "batched_run_local_sgd",
+    "build_batched_model",
     "Parameter",
     "Module",
     "Linear",

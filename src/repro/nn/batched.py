@@ -1,0 +1,392 @@
+"""Batched multi-client kernels: a cohort of clients as one stacked tensor.
+
+The federated hot path is local training: every selected client runs a few
+epochs of SGD on a small model, and the serial executor pays the full
+Python dispatch cost (``set_flat_params``, layer-by-layer forward/backward,
+``get_flat_grad``) once *per client per batch*.  For the models the bench
+presets actually sweep — stacks of :class:`~repro.nn.layers.Linear` and
+elementwise activations on flat features — that dispatch cost dwarfs the
+arithmetic.  This module removes it by giving the whole cohort a leading
+client axis:
+
+* parameters become one ``(C, dim)`` array (one flat vector per client),
+* features/labels become ``(C, n, d)`` / ``(C, n)`` stacks,
+* each layer's forward/backward is a single stacked ``matmul`` /
+  elementwise op over all ``C`` clients at once.
+
+:func:`build_batched_model` compiles a supported model template into a
+:class:`BatchedModel`; unsupported architectures (convolutions, pooling,
+dropout) return ``None`` and the caller falls back to per-client execution.
+:func:`batched_run_local_sgd` mirrors
+:func:`repro.algorithms.base.run_local_sgd` step for step — same batch
+schedule, same update order, same loss bookkeeping — so a batched cohort
+reproduces the serial histories up to stacked-matmul reduction order
+(``atol=1e-8`` on the pinned goldens, see ``docs/tutorials/fast-sweeps.md``
+for the tolerance contract).
+
+Nothing here knows about clients, algorithms, or executors: the module
+consumes arrays and a training config, exactly like the serial kernels in
+:mod:`repro.nn.layers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.functional import log_softmax, softmax
+from repro.nn.layers import Flatten, Linear, ReLU, Sequential, Tanh
+from repro.nn.losses import CrossEntropyLoss, Loss, MSELoss
+from repro.nn.module import Module
+
+#: Extra per-parameter gradient term added before each SGD step, evaluated
+#: at the current stacked parameters ``(C, dim)`` (proximal/dual terms).
+ExtraGrad = Callable[[np.ndarray], np.ndarray]
+
+
+# --------------------------------------------------------------------------- #
+# Batched layer ops
+# --------------------------------------------------------------------------- #
+class _BatchedOp:
+    """One layer of a :class:`BatchedModel`: stacked forward/backward."""
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients into ``grads`` (``(C, dim)``) and
+        return the gradient with respect to this op's input."""
+        raise NotImplementedError
+
+
+class BatchedLinear(_BatchedOp):
+    """``y = x @ W + b`` with a leading client axis on everything."""
+
+    def __init__(self, in_features: int, out_features: int, offset: int):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_slice = slice(offset, offset + in_features * out_features)
+        self.bias_slice = slice(
+            self.weight_slice.stop, self.weight_slice.stop + out_features
+        )
+        self._input: np.ndarray | None = None
+        self._weight: np.ndarray | None = None
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        cohort = params.shape[0]
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ShapeError(
+                f"BatchedLinear expected input of shape (C, n, "
+                f"{self.in_features}), got {x.shape}"
+            )
+        weight = params[:, self.weight_slice].reshape(
+            cohort, self.in_features, self.out_features
+        )
+        bias = params[:, self.bias_slice]
+        self._input = x
+        self._weight = weight
+        return x @ weight + bias[:, None, :]
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None or self._weight is None:
+            raise ShapeError("backward called before forward on BatchedLinear")
+        cohort = grads.shape[0]
+        grads[:, self.weight_slice] = (
+            self._input.transpose(0, 2, 1) @ grad_output
+        ).reshape(cohort, -1)
+        grads[:, self.bias_slice] = grad_output.sum(axis=1)
+        return grad_output @ self._weight.transpose(0, 2, 1)
+
+
+class BatchedReLU(_BatchedOp):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward called before forward on BatchedReLU")
+        return grad_output * self._mask
+
+
+class BatchedTanh(_BatchedOp):
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ShapeError("backward called before forward on BatchedTanh")
+        return grad_output * (1.0 - self._output**2)
+
+
+class BatchedFlatten(_BatchedOp):
+    """Flatten everything after the sample axis (identity on flat features)."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ShapeError("backward called before forward on BatchedFlatten")
+        return grad_output.reshape(self._input_shape)
+
+
+# --------------------------------------------------------------------------- #
+# Batched losses
+# --------------------------------------------------------------------------- #
+class BatchedCrossEntropy:
+    """Per-client softmax cross-entropy over ``(C, n, K)`` logits."""
+
+    def value_and_grad(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.int64)
+        n = logits.shape[1]
+        log_probs = log_softmax(logits)
+        picked = np.take_along_axis(log_probs, targets[:, :, None], axis=2)
+        losses = -picked[:, :, 0].mean(axis=1)
+        one_hot = np.zeros_like(logits)
+        np.put_along_axis(one_hot, targets[:, :, None], 1.0, axis=2)
+        grad = (softmax(logits) - one_hot) / n
+        return losses, grad
+
+
+class BatchedMSE:
+    """Per-client mean squared error over ``(C, ...)`` predictions."""
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"BatchedMSE shape mismatch: {predictions.shape} vs "
+                f"{targets.shape}"
+            )
+        diff = predictions - targets
+        per_client = diff.size // diff.shape[0]
+        losses = (diff**2).reshape(diff.shape[0], -1).mean(axis=1)
+        grad = 2.0 * diff / per_client
+        return losses, grad
+
+
+def _batched_loss_for(loss: Loss):
+    """The stacked counterpart of a serial loss, or ``None`` if unsupported.
+
+    Exact type matches only: a subclass may override ``value_and_grad``
+    with semantics the batched kernel would silently diverge from.
+    """
+    if type(loss) is CrossEntropyLoss:
+        return BatchedCrossEntropy()
+    if type(loss) is MSELoss:
+        return BatchedMSE()
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Model compilation
+# --------------------------------------------------------------------------- #
+class BatchedModel:
+    """A model template compiled to stacked ops over a ``(C, dim)`` packing.
+
+    The flat-parameter layout is exactly the template's
+    :meth:`~repro.nn.module.Module.get_flat_params` order, so rows of the
+    stacked parameter array round-trip into the serial model unchanged.
+    """
+
+    def __init__(self, ops: list[_BatchedOp], dim: int, loss) -> None:
+        self.ops = ops
+        self.dim = dim
+        self.loss = loss
+
+    def loss_and_grad(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-client mean loss ``(C,)`` and flat gradients ``(C, dim)``."""
+        x = features
+        for op in self.ops:
+            x = op.forward(params, x)
+        losses, grad_output = self.loss.value_and_grad(x, labels)
+        grads = np.zeros((params.shape[0], self.dim), dtype=np.float64)
+        for op in reversed(self.ops):
+            grad_output = op.backward(grads, grad_output)
+        return losses, grads
+
+    def full_loss_and_grad(
+        self,
+        params: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int | None = 256,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact per-client loss/gradient over the whole stacked dataset.
+
+        Chunked along the sample axis with the same sample-weighted
+        accumulation as :meth:`LocalProblem.full_loss_and_grad`, so the
+        reduction matches the serial path chunk for chunk.
+        """
+        cohort, n = features.shape[0], features.shape[1]
+        step = n if batch_size is None or batch_size >= n else batch_size
+        total_loss = np.zeros(cohort, dtype=np.float64)
+        total_grad = np.zeros((cohort, self.dim), dtype=np.float64)
+        for start in range(0, n, step):
+            chunk = slice(start, min(start + step, n))
+            losses, grads = self.loss_and_grad(
+                params, features[:, chunk], labels[:, chunk]
+            )
+            weight = chunk.stop - chunk.start
+            total_loss += losses * weight
+            total_grad += grads * weight
+        return total_loss / n, total_grad / n
+
+
+def _iter_supported_layers(model: Module) -> Iterator[Module] | None:
+    """Flatten nested ``Sequential`` containers, or ``None`` if unsupported."""
+    if not isinstance(model, Sequential):
+        return None
+    flat: list[Module] = []
+    for layer in model.layers:
+        if isinstance(layer, Sequential):
+            inner = _iter_supported_layers(layer)
+            if inner is None:
+                return None
+            flat.extend(inner)
+        else:
+            flat.append(layer)
+    return flat
+
+
+def build_batched_model(model: Module, loss: Loss) -> BatchedModel | None:
+    """Compile a model template into a :class:`BatchedModel`.
+
+    Returns ``None`` when the architecture or loss has no batched
+    counterpart (convolutions, pooling, dropout, custom losses) — the
+    caller then falls back to per-client execution.
+    """
+    layers = _iter_supported_layers(model)
+    batched_loss = _batched_loss_for(loss)
+    if layers is None or batched_loss is None:
+        return None
+    ops: list[_BatchedOp] = []
+    offset = 0
+    for layer in layers:
+        if type(layer) is Linear:
+            ops.append(BatchedLinear(layer.in_features, layer.out_features, offset))
+            offset += layer.in_features * layer.out_features + layer.out_features
+        elif type(layer) is ReLU:
+            ops.append(BatchedReLU())
+        elif type(layer) is Tanh:
+            ops.append(BatchedTanh())
+        elif type(layer) is Flatten:
+            ops.append(BatchedFlatten())
+        else:
+            return None
+    if offset != model.num_params:
+        # A layer carries parameters the batched packing did not account
+        # for; running it stacked would silently train the wrong slices.
+        return None
+    return BatchedModel(ops, dim=offset, loss=batched_loss)
+
+
+# --------------------------------------------------------------------------- #
+# Cohorts and batched local SGD
+# --------------------------------------------------------------------------- #
+@dataclass
+class BatchedCohort:
+    """A same-shape group of clients stacked along a leading axis.
+
+    ``epoch_orders`` carries the pre-drawn per-epoch shuffles as an
+    ``(E, C, n)`` index array — drawn by the caller *in task order* from
+    each task's own RNG, so the cohort consumes exactly the random numbers
+    the serial executor would have (see
+    :meth:`repro.systems.executor.VectorizedExecutor.run_tasks`).  ``None``
+    means full-batch training, which draws nothing, again like the serial
+    path.
+    """
+
+    model: BatchedModel
+    features: np.ndarray  # (C, n, d)
+    labels: np.ndarray  # (C, n)
+    epoch_orders: np.ndarray | None = None  # (E, C, n) or None
+
+    @property
+    def num_clients(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def num_samples(self) -> int:
+        """Local training-set size ``n`` (identical across the cohort)."""
+        return int(self.features.shape[1])
+
+    def full_loss_and_grad(
+        self, params: np.ndarray, batch_size: int | None = 256
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Every client's exact local loss/gradient at shared ``params``."""
+        stacked = np.broadcast_to(
+            np.asarray(params, dtype=np.float64), (self.num_clients, params.size)
+        )
+        return self.model.full_loss_and_grad(
+            stacked, self.features, self.labels, batch_size=batch_size
+        )
+
+
+def _epoch_batches(
+    cohort: BatchedCohort, batch_size: int | None, epoch: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield this epoch's stacked mini-batches, mirroring ``iterate_minibatches``."""
+    n = cohort.num_samples
+    if batch_size is None or batch_size >= n:
+        yield cohort.features, cohort.labels
+        return
+    order = cohort.epoch_orders[epoch]  # (C, n)
+    shuffled_x = np.take_along_axis(cohort.features, order[:, :, None], axis=1)
+    shuffled_y = np.take_along_axis(cohort.labels, order, axis=1)
+    for start in range(0, n, batch_size):
+        stop = start + batch_size
+        yield shuffled_x[:, start:stop], shuffled_y[:, start:stop]
+
+
+def batched_run_local_sgd(
+    cohort: BatchedCohort,
+    start_params: np.ndarray,
+    config,
+    extra_grad: ExtraGrad | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked counterpart of :func:`repro.algorithms.base.run_local_sgd`.
+
+    ``start_params`` is ``(C, dim)``; ``config`` is a
+    :class:`~repro.algorithms.base.LocalTrainingConfig` shared by the whole
+    cohort (cohorts group on epochs/batch size).  Returns the trained
+    ``(C, dim)`` parameters and each client's mean mini-batch loss ``(C,)``
+    — the unweighted mean over batches, exactly like the serial kernel.
+    """
+    params = np.array(start_params, dtype=np.float64, copy=True)
+    loss_sum = np.zeros(cohort.num_clients, dtype=np.float64)
+    batches_seen = 0
+    for epoch in range(config.epochs):
+        for features, labels in _epoch_batches(cohort, config.batch_size, epoch):
+            losses, grads = cohort.model.loss_and_grad(params, features, labels)
+            loss_sum += losses
+            batches_seen += 1
+            if extra_grad is not None:
+                grads = grads + extra_grad(params)
+            params -= config.learning_rate * grads
+    if batches_seen:
+        mean_losses = loss_sum / batches_seen
+    else:
+        mean_losses = np.full(cohort.num_clients, float("nan"))
+    return params, mean_losses

@@ -14,8 +14,9 @@ about:
   (straggler-dominated, as in real federated deployments),
 * :mod:`repro.systems.faults` — mid-round client dropout and round
   deadlines that knock stragglers out of aggregation,
-* :mod:`repro.systems.executor` — serial, thread-pool, and process-pool
-  execution of the selected clients' local updates.
+* :mod:`repro.systems.executor` — serial, thread-pool, process-pool, and
+  vectorized (stacked-NumPy cohort) execution of the selected clients'
+  local updates.
 
 Every component is optional: a :class:`~repro.federated.engine.FederatedSimulation`
 constructed without them behaves exactly like the idealised synchronous
@@ -41,6 +42,7 @@ from repro.systems.executor import (
     ProcessPoolClientExecutor,
     SerialExecutor,
     ThreadPoolClientExecutor,
+    VectorizedExecutor,
     build_executor,
     execute_task,
 )
@@ -77,6 +79,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolClientExecutor",
     "ProcessPoolClientExecutor",
+    "VectorizedExecutor",
     "EXECUTOR_REGISTRY",
     "build_executor",
     "LocalUpdateTask",

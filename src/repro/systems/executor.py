@@ -13,6 +13,16 @@ slim :class:`LocalUpdateTask`; the executor runs the batch and returns one
   Each task deep-copies the model template (the NumPy substrate mutates
   parameter buffers in place, so sharing one template across threads would
   race) and draws from its own per-task seed.
+* :class:`VectorizedExecutor` — same-shape tasks are grouped into cohorts
+  and each cohort's local updates run as stacked NumPy operations with a
+  leading client axis (see :mod:`repro.nn.batched`), eliminating the
+  per-client Python dispatch that dominates the serial hot path.  Only
+  algorithms that opt in (``supports_batched``) and models with batched
+  kernels run stacked; everything else falls back to the serial per-task
+  loop, so a vectorized run never changes *which* computation happens —
+  only how it is scheduled.  RNG streams are consumed in task order,
+  matching the serial executor draw for draw; histories agree with serial
+  within ``atol=1e-8`` (stacked matmuls reduce in a different order).
 * :class:`ProcessPoolClientExecutor` — tasks run in worker processes,
   sidestepping the GIL for compute-bound local training.  The primed
   problems and algorithm are shipped to each worker once at pool creation
@@ -167,6 +177,130 @@ class SerialExecutor(ClientExecutor):
         ]
 
 
+class VectorizedExecutor(ClientExecutor):
+    """Run same-shape cohorts of tasks as stacked NumPy operations.
+
+    Grouping key: local dataset shape × epochs × training hyper-parameters
+    × round index.  Clients whose datasets are ragged (different sample
+    counts) simply land in different cohorts; a cohort of one still runs
+    through the batched kernels (with a leading axis of 1).
+
+    Seeding semantics are preserved exactly: each task's epoch shuffles are
+    pre-drawn *in task order* from that task's own RNG before any cohort
+    executes, so the executor consumes the same random numbers in the same
+    order as :class:`SerialExecutor` — whether the plan hands every task
+    the shared training stream (sync) or per-task integer seeds
+    (async/semisync).  ``isolated`` stays ``False`` for the same reason:
+    the sync plan must seed vectorized runs exactly like serial ones.
+    """
+
+    isolated = False
+
+    def prime(self, problems: list[LocalProblem], algorithm: Any) -> None:
+        super().prime(problems, algorithm)
+        from repro.nn.batched import build_batched_model
+
+        self._batched_model = None
+        if not getattr(algorithm, "supports_batched", False):
+            return
+        template = problems[0]
+        if any(problem.dataset.features.ndim != 2 for problem in problems):
+            return  # stacked kernels take flat (n, d) features only
+        self._batched_model = build_batched_model(template.model, template.loss)
+
+    @property
+    def vectorizes(self) -> bool:
+        """Whether primed tasks will actually run through batched kernels."""
+        self._require_primed()
+        return self._batched_model is not None
+
+    def _draw_epoch_orders(
+        self, tasks: list[LocalUpdateTask]
+    ) -> list[np.ndarray | None]:
+        """Pre-draw every task's per-epoch shuffles, in task order.
+
+        Mirrors ``iterate_minibatches``: full-batch training (or a
+        non-shuffling algorithm) draws nothing; otherwise one permutation
+        per epoch from the task's RNG — the exact draws, in the exact
+        order, the serial executor would have made.
+        """
+        orders: list[np.ndarray | None] = []
+        shuffles = getattr(self._algorithm, "shuffles_minibatches", True)
+        for task in tasks:
+            n = self._problems[task.client_index].num_samples
+            batch_size = task.config.batch_size
+            if not shuffles or batch_size is None or batch_size >= n:
+                orders.append(None)
+                continue
+            rng = as_rng(task.rng)
+            orders.append(
+                np.stack(
+                    [rng.permutation(n) for _ in range(task.config.epochs)]
+                )
+            )
+        return orders
+
+    def run_tasks(self, tasks: list[LocalUpdateTask]) -> list[LocalUpdateOutcome]:
+        self._require_primed()
+        if self._batched_model is None:
+            # Opt-out algorithm or unbatchable model: the serial loop,
+            # bit for bit.
+            return [
+                execute_task(task, self._problems[task.client_index], self._algorithm)
+                for task in tasks
+            ]
+        from repro.nn.batched import BatchedCohort
+
+        epoch_orders = self._draw_epoch_orders(tasks)
+
+        cohorts: dict[tuple, list[int]] = {}
+        for position, task in enumerate(tasks):
+            problem = self._problems[task.client_index]
+            key = (
+                problem.num_samples,
+                problem.dataset.features.shape[1],
+                task.config.epochs,
+                task.config.batch_size,
+                task.config.learning_rate,
+                task.round_index,
+            )
+            cohorts.setdefault(key, []).append(position)
+
+        outcomes: list[LocalUpdateOutcome | None] = [None] * len(tasks)
+        for positions in cohorts.values():
+            cohort_tasks = [tasks[position] for position in positions]
+            problems = [
+                self._problems[task.client_index] for task in cohort_tasks
+            ]
+            orders = None
+            if epoch_orders[positions[0]] is not None:
+                orders = np.stack(
+                    [epoch_orders[position] for position in positions], axis=1
+                )  # (E, C, n)
+            cohort = BatchedCohort(
+                model=self._batched_model,
+                features=np.stack([p.dataset.features for p in problems]),
+                labels=np.stack([p.dataset.labels for p in problems]),
+                epoch_orders=orders,
+            )
+            lead = cohort_tasks[0]
+            messages = self._algorithm.batched_local_update(
+                cohort,
+                [task.client for task in cohort_tasks],
+                lead.global_params,
+                lead.server_state,
+                lead.config,
+                round_index=lead.round_index,
+            )
+            for position, task, message in zip(
+                positions, cohort_tasks, messages
+            ):
+                outcomes[position] = LocalUpdateOutcome(
+                    message=message, client=task.client
+                )
+        return outcomes
+
+
 class _PoolExecutor(ClientExecutor):
     """Shared lazy-pool plumbing for thread and process executors."""
 
@@ -247,6 +381,7 @@ EXECUTOR_REGISTRY: dict[str, type[ClientExecutor]] = {
     "serial": SerialExecutor,
     "thread": ThreadPoolClientExecutor,
     "process": ProcessPoolClientExecutor,
+    "vectorized": VectorizedExecutor,
 }
 
 
@@ -258,6 +393,7 @@ def build_executor(name: str, max_workers: int | None = None) -> ClientExecutor:
         raise ConfigurationError(
             f"unknown executor {name!r}; available: {sorted(EXECUTOR_REGISTRY)}"
         ) from None
-    if executor_cls is SerialExecutor:
-        return SerialExecutor()
+    if executor_cls in (SerialExecutor, VectorizedExecutor):
+        # In-process executors: max_workers has nothing to configure.
+        return executor_cls()
     return executor_cls(max_workers=max_workers)

@@ -1,0 +1,206 @@
+"""The benchmark-regression gate: compare_to_baseline semantics.
+
+These tests pin the behaviour CI relies on (see the ``bench-gate`` job in
+``.github/workflows/ci.yml``): a >20% regression on any gated metric
+fails, smaller drifts pass, a gated benchmark that silently stops running
+fails, and machine-dependent metrics stripped from the baselines are never
+compared.  The injected-25%-slowdown case is the committed, rerunnable
+form of the one-off verification done when the gate was added.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from bench_utils import compare_to_baseline, metric_direction  # noqa: E402
+from refresh_baselines import strip_machine_dependent  # noqa: E402
+
+
+BASELINE = {
+    "bench": "vectorized_clients",
+    "num_clients": 64,
+    "fedavg": {"speedup": 5.0, "final_accuracy": 0.95},
+    "rows": [{"algorithm": "fedavg", "rounds_to_target": 10}],
+}
+
+
+@pytest.fixture
+def gate_dirs(tmp_path):
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    baselines.mkdir()
+    results.mkdir()
+    (baselines / "BENCH_vectorized_clients.json").write_text(
+        json.dumps(BASELINE)
+    )
+    return results, baselines
+
+
+def write_result(results: Path, **changes):
+    payload = json.loads(json.dumps(BASELINE))  # deep copy
+    for key, value in changes.items():
+        node = payload
+        *parents, leaf = key.split(".")
+        for part in parents:
+            node = node[int(part)] if part.isdigit() else node[part]
+        node[leaf] = value
+    (results / "BENCH_vectorized_clients.json").write_text(json.dumps(payload))
+
+
+class TestCompareToBaseline:
+    def test_identical_results_pass(self, gate_dirs):
+        results, baselines = gate_dirs
+        write_result(results)
+        assert compare_to_baseline(results, baselines) == []
+
+    def test_injected_25_percent_slowdown_fails(self, gate_dirs):
+        # The acceptance check for the gate: a 25% hit to the headline
+        # speedup metric must fail at the default 20% tolerance.
+        results, baselines = gate_dirs
+        write_result(results, **{"fedavg.speedup": 5.0 / 1.25})
+        failures = compare_to_baseline(results, baselines)
+        assert len(failures) == 1
+        assert "fedavg.speedup" in failures[0]
+
+    def test_10_percent_drift_passes(self, gate_dirs):
+        results, baselines = gate_dirs
+        write_result(results, **{"fedavg.speedup": 4.5})
+        assert compare_to_baseline(results, baselines) == []
+
+    def test_accuracy_drop_fails_and_gain_passes(self, gate_dirs):
+        results, baselines = gate_dirs
+        write_result(results, **{"fedavg.final_accuracy": 0.70})
+        assert any(
+            "final_accuracy" in line
+            for line in compare_to_baseline(results, baselines)
+        )
+        write_result(results, **{"fedavg.final_accuracy": 0.99})
+        assert compare_to_baseline(results, baselines) == []
+
+    def test_rounds_to_target_growth_fails_inside_lists(self, gate_dirs):
+        results, baselines = gate_dirs
+        write_result(results, **{"rows.0.rounds_to_target": 13})
+        failures = compare_to_baseline(results, baselines)
+        assert any("rows.0.rounds_to_target" in line for line in failures)
+
+    def test_missing_current_result_fails(self, gate_dirs):
+        results, baselines = gate_dirs  # nothing written to results/
+        failures = compare_to_baseline(results, baselines)
+        assert any("no fresh result" in line for line in failures)
+
+    def test_empty_baselines_dir_fails(self, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "results").mkdir()
+        failures = compare_to_baseline(
+            tmp_path / "results", tmp_path / "baselines"
+        )
+        assert any("no baselines" in line for line in failures)
+
+    def test_ungated_metrics_never_fail(self, gate_dirs):
+        # num_clients is informational; halving it must not trip the gate.
+        results, baselines = gate_dirs
+        write_result(results, num_clients=32)
+        assert compare_to_baseline(results, baselines) == []
+
+    def test_custom_tolerance(self, gate_dirs):
+        results, baselines = gate_dirs
+        write_result(results, **{"fedavg.speedup": 4.5})  # -10%
+        assert compare_to_baseline(results, baselines, tolerance=0.05)
+
+
+class TestMetricDirection:
+    def test_directions(self):
+        assert metric_direction("fedavg.speedup") == "higher"
+        assert metric_direction("fedavg.final_accuracy") == "higher"
+        assert metric_direction("wall_seconds") == "lower"
+        assert metric_direction("fedavg.serial_seconds") == "lower"
+        assert metric_direction("rows.0.rounds_to_target") == "lower"
+        assert metric_direction("num_clients") is None
+        assert metric_direction("jobs") is None
+
+    def test_nested_per_algorithm_metrics_are_gated(self):
+        # Summaries routinely nest the headline metric over per-algorithm
+        # dicts; the classifier must match the whole path, not the leaf.
+        assert metric_direction("rounds_to_target.fedprox(rho=0.1)") == "lower"
+        assert metric_direction("final_accuracies.fedavg") == "higher"
+        assert metric_direction("speedup_vs_fedsgd.scaffold") == "higher"
+        assert metric_direction("rows.1.seconds_to_target") == "lower"
+
+    def test_nested_rounds_regression_fails(self, gate_dirs):
+        results, baselines = gate_dirs
+        (baselines / "BENCH_table.json").write_text(
+            json.dumps({"rounds_to_target": {"fedavg": 5, "fedprox": 4}})
+        )
+        (results / "BENCH_table.json").write_text(
+            json.dumps({"rounds_to_target": {"fedavg": 9, "fedprox": 4}})
+        )
+        write_result(results)
+        failures = compare_to_baseline(results, baselines)
+        assert any("rounds_to_target.fedavg" in line for line in failures)
+
+    def test_rounds_to_target_gets_one_round_absolute_slack(self, gate_dirs):
+        # Discrete round counts: a baseline of 1 must tolerate 2 (any
+        # shift is >=100% relative) but still fail on 3.
+        results, baselines = gate_dirs
+        (baselines / "BENCH_small.json").write_text(
+            json.dumps({"rounds_to_target": {"fedavg": 1}})
+        )
+        write_result(results)
+        (results / "BENCH_small.json").write_text(
+            json.dumps({"rounds_to_target": {"fedavg": 2}})
+        )
+        assert compare_to_baseline(results, baselines) == []
+        (results / "BENCH_small.json").write_text(
+            json.dumps({"rounds_to_target": {"fedavg": 3}})
+        )
+        assert any(
+            "rounds_to_target.fedavg" in line
+            for line in compare_to_baseline(results, baselines)
+        )
+
+    def test_missing_gated_metric_fails(self, gate_dirs):
+        # Renaming/nulling a gated metric must not silently disable its
+        # own gate.
+        results, baselines = gate_dirs
+        write_result(results)
+        payload = json.loads(
+            (results / "BENCH_vectorized_clients.json").read_text()
+        )
+        del payload["fedavg"]["speedup"]
+        (results / "BENCH_vectorized_clients.json").write_text(
+            json.dumps(payload)
+        )
+        failures = compare_to_baseline(results, baselines)
+        assert any(
+            "fedavg.speedup missing" in line for line in failures
+        )
+
+
+class TestBaselineRefreshStripping:
+    def test_machine_dependent_keys_are_stripped(self):
+        payload = {
+            "bench": "x",
+            "wall_seconds": 1.0,
+            "cpu_count": 4,
+            "resume_seconds_for_remaining": 0.7,  # substring, not suffix
+            "nested": {"serial_seconds": 2.0, "speedup": 3.0},
+            "rows": [{"vectorized_seconds": 0.5, "rounds_to_target": 7}],
+        }
+        stripped = strip_machine_dependent(payload)
+        assert stripped == {
+            "bench": "x",
+            "nested": {"speedup": 3.0},
+            "rows": [{"rounds_to_target": 7}],
+        }
+
+    def test_every_committed_baseline_is_free_of_wall_clock(self):
+        baselines = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+        for path in baselines.glob("BENCH_*.json"):
+            payload = json.loads(path.read_text())
+            assert payload == strip_machine_dependent(payload), path.name

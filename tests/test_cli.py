@@ -252,8 +252,8 @@ class TestCliOrchestration:
         assert main(self.TABLE4 + ["--resume"]) == 0
         assert capsys.readouterr().out.count("skipped") == 2
 
-    def test_non_positive_jobs_rejected(self):
-        from repro.exceptions import ConfigurationError
-
-        with pytest.raises(ConfigurationError, match="jobs must be positive"):
-            main(self.TABLE4 + ["--jobs", "0"])
+    def test_non_positive_jobs_rejected(self, capsys):
+        # Configuration errors surface as a clean one-line failure (exit
+        # code 2), not a traceback.
+        assert main(self.TABLE4 + ["--jobs", "0"]) == 2
+        assert "jobs must be positive" in capsys.readouterr().err

@@ -1,0 +1,182 @@
+"""Direct unit tests for the stacked kernels in ``repro.nn.batched``.
+
+The executor-level tests (``test_vectorized_executor.py``) cover the MLP +
+cross-entropy path end to end; these exercise each kernel against its
+serial counterpart — Tanh, Flatten, MSE, nested containers — and pin the
+compilation rules (what :func:`build_batched_model` accepts and rejects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.batched import (
+    BatchedCohort,
+    BatchedMSE,
+    batched_run_local_sgd,
+    build_batched_model,
+)
+from repro.nn.layers import Conv2D, Dropout, Flatten, Linear, Sequential, Tanh
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.models import MLP, LogisticRegression
+
+
+def make_template(rng):
+    """A model using every supported layer type, with a nested container."""
+    return Sequential(
+        Flatten(),
+        Linear(6, 5, rng=rng),
+        Tanh(),
+        Sequential(Linear(5, 4, rng=rng), Tanh()),
+        Linear(4, 3, rng=rng),
+    )
+
+
+def serial_loss_and_grad(model, loss, params, features, labels):
+    model.set_flat_params(params)
+    model.zero_grad()
+    predictions = model.forward(features)
+    value, grad_predictions = loss.value_and_grad(predictions, labels)
+    model.backward(grad_predictions)
+    return value, model.get_flat_grad()
+
+
+class TestBatchedModelKernels:
+    def test_stacked_loss_and_grad_matches_serial_per_client(self):
+        rng = np.random.default_rng(0)
+        model = make_template(rng)
+        loss = CrossEntropyLoss()
+        batched = build_batched_model(model, loss)
+        assert batched is not None
+        assert batched.dim == model.num_params
+
+        cohort_size, n = 4, 9
+        features = rng.normal(size=(cohort_size, n, 6))
+        labels = rng.integers(0, 3, size=(cohort_size, n))
+        params = rng.normal(size=(cohort_size, model.num_params))
+
+        losses, grads = batched.loss_and_grad(params, features, labels)
+        for c in range(cohort_size):
+            value, grad = serial_loss_and_grad(
+                model, loss, params[c], features[c], labels[c]
+            )
+            assert abs(losses[c] - value) < 1e-10
+            np.testing.assert_allclose(grads[c], grad, atol=1e-10, rtol=0)
+
+    def test_full_loss_and_grad_matches_chunked_serial(self):
+        rng = np.random.default_rng(1)
+        model = MLP(input_dim=6, hidden_dims=(5,), num_classes=3, rng=rng)
+        loss = CrossEntropyLoss()
+        batched = build_batched_model(model, loss)
+        features = rng.normal(size=(3, 10, 6))
+        labels = rng.integers(0, 3, size=(3, 10))
+        shared = rng.normal(size=model.num_params)
+
+        cohort = BatchedCohort(model=batched, features=features, labels=labels)
+        losses, grads = cohort.full_loss_and_grad(shared, batch_size=4)
+        for c in range(3):
+            # Serial reference with the same chunk-weighted accumulation.
+            total_loss, total_grad, count = 0.0, np.zeros(model.num_params), 0
+            for start in range(0, 10, 4):
+                x, y = features[c, start:start + 4], labels[c, start:start + 4]
+                value, grad = serial_loss_and_grad(model, loss, shared, x, y)
+                total_loss += value * len(y)
+                total_grad += grad * len(y)
+                count += len(y)
+            assert abs(losses[c] - total_loss / count) < 1e-10
+            np.testing.assert_allclose(
+                grads[c], total_grad / count, atol=1e-10, rtol=0
+            )
+
+    def test_batched_mse_matches_serial(self):
+        rng = np.random.default_rng(2)
+        predictions = rng.normal(size=(3, 7, 2))
+        targets = rng.normal(size=(3, 7, 2))
+        batched = BatchedMSE()
+        serial = MSELoss()
+        losses, grads = batched.value_and_grad(predictions, targets)
+        for c in range(3):
+            value, grad = serial.value_and_grad(predictions[c], targets[c])
+            assert abs(losses[c] - value) < 1e-12
+            np.testing.assert_allclose(grads[c], grad, atol=1e-12, rtol=0)
+
+    def test_sgd_with_extra_grad_matches_serial_updates(self):
+        rng = np.random.default_rng(3)
+        model = MLP(input_dim=6, hidden_dims=(5,), num_classes=3, rng=rng)
+        batched = build_batched_model(model, CrossEntropyLoss())
+        features = rng.normal(size=(2, 8, 6))
+        labels = rng.integers(0, 3, size=(2, 8))
+        start = rng.normal(size=(2, model.num_params))
+        anchor = rng.normal(size=model.num_params)
+
+        class Config:
+            epochs = 2
+            batch_size = None  # full batch: no orders needed
+            learning_rate = 0.1
+
+        cohort = BatchedCohort(model=batched, features=features, labels=labels)
+        params, losses = batched_run_local_sgd(
+            cohort, start, Config,
+            extra_grad=lambda p: 0.5 * (p - anchor[None, :]),
+        )
+        # Serial reference: the same two full-batch steps per client.
+        for c in range(2):
+            w = start[c].copy()
+            batch_losses = []
+            for _ in range(2):
+                value, grad = serial_loss_and_grad(
+                    model, CrossEntropyLoss(), w, features[c], labels[c]
+                )
+                batch_losses.append(value)
+                w -= 0.1 * (grad + 0.5 * (w - anchor))
+            np.testing.assert_allclose(params[c], w, atol=1e-10, rtol=0)
+            assert abs(losses[c] - np.mean(batch_losses)) < 1e-10
+
+
+class TestCompilationRules:
+    def test_supported_models_compile(self):
+        rng = np.random.default_rng(0)
+        for model in (
+            MLP(input_dim=4, hidden_dims=(3,), num_classes=2, rng=rng),
+            LogisticRegression(input_dim=4, num_classes=2, rng=rng),
+            make_template(rng),
+        ):
+            assert build_batched_model(model, CrossEntropyLoss()) is not None
+
+    def test_non_sequential_module_is_rejected(self):
+        assert build_batched_model(Linear(3, 2), CrossEntropyLoss()) is None
+
+    def test_convolutional_model_is_rejected(self):
+        model = Sequential(Conv2D(1, 2, kernel_size=3), Flatten())
+        assert build_batched_model(model, CrossEntropyLoss()) is None
+
+    def test_dropout_is_rejected(self):
+        model = Sequential(Linear(4, 3), Dropout(0.5), Linear(3, 2))
+        assert build_batched_model(model, CrossEntropyLoss()) is None
+
+    def test_loss_subclass_is_rejected(self):
+        class TweakedLoss(CrossEntropyLoss):
+            def value_and_grad(self, predictions, targets):  # pragma: no cover
+                return super().value_and_grad(predictions, targets)
+
+        model = MLP(input_dim=4, hidden_dims=(3,), num_classes=2,
+                    rng=np.random.default_rng(0))
+        assert build_batched_model(model, TweakedLoss()) is None
+
+    def test_mse_loss_is_supported(self):
+        model = LogisticRegression(input_dim=4, num_classes=2,
+                                   rng=np.random.default_rng(0))
+        assert build_batched_model(model, MSELoss()) is not None
+
+    def test_shape_errors_on_mismatched_input(self):
+        from repro.exceptions import ShapeError
+
+        model = MLP(input_dim=4, hidden_dims=(3,), num_classes=2,
+                    rng=np.random.default_rng(0))
+        batched = build_batched_model(model, CrossEntropyLoss())
+        params = np.zeros((2, model.num_params))
+        with pytest.raises(ShapeError):
+            batched.loss_and_grad(
+                params, np.zeros((2, 5, 7)), np.zeros((2, 5), dtype=np.int64)
+            )

@@ -160,3 +160,72 @@ class TestDefaultRegistryContents:
             ["semisync", "--round-deadline", "2.0", "--mode", "semisync"]
         )
         assert args.round_deadline_s == 2.0
+
+
+class TestSupportedModesAndExecutors:
+    """Studies surface their supported plans/executors and fail fast."""
+
+    def test_declared_universes_match_the_live_registries(self):
+        from repro.experiments.registry import ALL_EXECUTORS, ALL_MODES
+        from repro.federated.plans import PLAN_REGISTRY
+        from repro.systems import EXECUTOR_REGISTRY
+
+        assert set(ALL_MODES) == set(PLAN_REGISTRY)
+        assert set(ALL_EXECUTORS) == set(EXECUTOR_REGISTRY)
+
+    def test_every_study_surfaces_modes_and_executors(self):
+        for study in STUDIES:
+            assert isinstance(study.modes, tuple)
+            assert isinstance(study.executors, tuple)
+
+    def test_closed_form_study_supports_nothing(self):
+        table1 = STUDIES.get("table1")
+        assert table1.modes == ()
+        assert table1.executors == ()
+
+    def test_mode_locked_studies(self):
+        assert STUDIES.get("async").modes == ("async",)
+        assert STUDIES.get("semisync").modes == ("semisync",)
+
+    def test_unsupported_mode_fails_fast(self):
+        from repro.exceptions import ConfigurationError
+
+        request = StudyRequest(overrides={"mode": "sync"})
+        with pytest.raises(ConfigurationError, match="does not support --mode"):
+            STUDIES.run("async", request)
+
+    def test_unsupported_executor_on_closed_form_fails_fast(self):
+        from repro.exceptions import ConfigurationError
+
+        request = StudyRequest(overrides={"executor": "vectorized"})
+        with pytest.raises(
+            ConfigurationError, match="does not support --executor"
+        ):
+            STUDIES.run("table1", request)
+
+    def test_supported_executor_is_accepted(self, capsys):
+        # Sanity: validation does not reject combinations a study allows.
+        study = STUDIES.get("fig5")
+        assert "vectorized" in study.executors
+        study.check_request(StudyRequest(overrides={"executor": "vectorized"}))
+
+    def test_unknown_declared_mode_is_rejected_at_definition(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown mode"):
+            make_study(name="bad-mode", modes=("warp",))
+
+    def test_cli_listing_shows_support(self, capsys):
+        from repro.cli import _print_listing
+
+        _print_listing()
+        out = capsys.readouterr().out
+        assert "executors: serial|thread|process|vectorized" in out
+        assert "closed form (no training" in out
+
+    def test_cli_fails_fast_with_clear_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["async", "--dataset", "blobs", "--mode", "sync"])
+        assert code == 2
+        assert "does not support --mode sync" in capsys.readouterr().err

@@ -46,8 +46,13 @@ GOLDEN_UPLOAD_FLOATS = 1656
 GOLDEN_DOWNLOAD_FLOATS = 1656
 
 
-def run_seed_recipe() -> "FederatedSimulation":
-    """The exact run the golden values were generated from."""
+def run_seed_recipe(executor=None) -> "FederatedSimulation":
+    """The exact run the golden values were generated from.
+
+    ``executor=None`` is the seed serial path; passing another executor
+    reruns the identical recipe through it (used by the vectorized parity
+    guard below).
+    """
     split = make_blobs(
         n_train=480, n_test=160, num_classes=4, feature_dim=12,
         separation=2.5, noise_std=0.8, rng=0,
@@ -69,6 +74,7 @@ def run_seed_recipe() -> "FederatedSimulation":
         learning_rate=0.1,
         seed=11,
         eval_every=1,
+        executor=executor,
     )
     return simulation.run(6, target_accuracy=None)
 
@@ -218,3 +224,43 @@ class TestAsyncPathBitIdentity:
             rec.simulated_seconds > 0
             for rec in async_seed_result.history.records
         )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized executor parity with the pinned serial goldens
+# --------------------------------------------------------------------------- #
+# The vectorized executor's tolerance contract (see docs/tutorials/
+# fast-sweeps.md): stacked matmuls change only the reduction order, so the
+# pinned serial goldens must be reproduced within atol=1e-8 — and the
+# evaluated accuracies, being threshold counts, must be *identical*.
+class TestVectorizedGoldenParity:
+    @pytest.fixture(scope="class")
+    def vectorized_result(self):
+        from repro.systems.executor import VectorizedExecutor
+
+        return run_seed_recipe(executor=VectorizedExecutor())
+
+    def test_accuracy_trajectory_identical(self, vectorized_result):
+        accuracies = [rec.test_accuracy for rec in vectorized_result.history.records]
+        assert accuracies == GOLDEN_ACCURACIES
+
+    def test_train_losses_within_tolerance(self, vectorized_result):
+        losses = [rec.train_loss for rec in vectorized_result.history.records]
+        np.testing.assert_allclose(
+            losses, GOLDEN_TRAIN_LOSSES, atol=1e-8, rtol=0
+        )
+
+    def test_final_params_within_tolerance(self, vectorized_result, seed_result):
+        np.testing.assert_allclose(
+            vectorized_result.final_params, seed_result.final_params,
+            atol=1e-8, rtol=0,
+        )
+
+    def test_final_evaluation_matches_golden(self, vectorized_result):
+        assert vectorized_result.final_evaluation.accuracy == GOLDEN_FINAL_ACCURACY
+        assert abs(vectorized_result.final_evaluation.loss - GOLDEN_FINAL_LOSS) < 1e-8
+
+    def test_communication_totals_exact(self, vectorized_result):
+        # Accounting is integer bookkeeping: no tolerance applies.
+        assert vectorized_result.ledger.upload_floats == GOLDEN_UPLOAD_FLOATS
+        assert vectorized_result.ledger.download_floats == GOLDEN_DOWNLOAD_FLOATS

@@ -1,0 +1,359 @@
+"""Vectorized executor: cohort grouping, fallback, and seeding equivalence.
+
+The contract under test (see ``repro.systems.executor.VectorizedExecutor``
+and ``repro.nn.batched``):
+
+* histories match the serial executor within ``atol=1e-8`` (identical
+  evaluated accuracies; stacked matmuls only change reduction order),
+  for every batched algorithm, in full-batch and mini-batch mode;
+* RNG streams are consumed in task order, so the *seeding* is exactly
+  serial's — with the shared sync training stream and with per-task
+  integer seeds (async/semisync);
+* ragged client datasets land in separate cohorts and still match;
+* a cohort of size one runs through the batched kernels and matches;
+* opt-out algorithms (SCAFFOLD) and unbatchable models (CNNs) fall back
+  to the serial per-task loop bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.algorithms.base import LocalTrainingConfig
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import make_blobs
+from repro.federated.client import ClientState
+from repro.federated.engine import FederatedSimulation
+from repro.federated.heterogeneity import UniformRandomEpochs
+from repro.federated.local_problem import LocalProblem
+from repro.federated.sampler import UniformFractionSampler
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import MLP, SmallCNN
+from repro.systems.executor import (
+    LocalUpdateTask,
+    SerialExecutor,
+    VectorizedExecutor,
+    build_executor,
+)
+from repro.systems.network import LogNormalNetwork
+
+ATOL = 1e-8
+
+
+def make_ragged_clients(sizes, seed=0, num_classes=4, feature_dim=12):
+    """Clients with *different* local dataset sizes (forces ragged cohorts)."""
+    split = make_blobs(
+        n_train=sum(sizes), n_test=80, num_classes=num_classes,
+        feature_dim=feature_dim, separation=2.0, noise_std=0.6, rng=seed,
+    )
+    clients, start = [], 0
+    for client_id, size in enumerate(sizes):
+        subset = Dataset(
+            features=split.train.features[start:start + size],
+            labels=split.train.labels[start:start + size],
+            name=f"client-{client_id}",
+        )
+        clients.append(ClientState(client_id=client_id, dataset=subset))
+        start += size
+    return split, clients
+
+
+def run_simulation(algorithm_name, executor, sizes, *, batch_size=5,
+                   rounds=4, mode_kwargs=None, local_work=None, seed=11,
+                   algorithm_kwargs=None):
+    split, clients = make_ragged_clients(sizes, seed=3)
+    model = MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                rng=np.random.default_rng(5))
+    algorithm = build_algorithm(algorithm_name, **(algorithm_kwargs or {}))
+    simulation = FederatedSimulation(
+        algorithm=algorithm,
+        model=model,
+        clients=clients,
+        test_dataset=split.test,
+        sampler=UniformFractionSampler(1.0),
+        local_work=local_work,
+        batch_size=batch_size,
+        learning_rate=0.1,
+        seed=seed,
+        eval_every=1,
+        executor=executor,
+        **(mode_kwargs or {}),
+    )
+    return simulation.run(rounds, target_accuracy=None)
+
+
+def assert_histories_match(serial, vectorized, atol=ATOL):
+    assert [r.test_accuracy for r in vectorized.history.records] == [
+        r.test_accuracy for r in serial.history.records
+    ]
+    np.testing.assert_allclose(
+        np.array([r.train_loss for r in vectorized.history.records]),
+        np.array([r.train_loss for r in serial.history.records]),
+        atol=atol, rtol=0,
+    )
+    np.testing.assert_allclose(
+        vectorized.final_params, serial.final_params, atol=atol, rtol=0
+    )
+
+
+BATCHED_ALGORITHMS = ["fedavg", "fedprox", "fedsgd", "fedadmm"]
+ALGO_KWARGS = {"fedprox": {"rho": 0.1}, "fedadmm": {"rho": 0.3}}
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("name", BATCHED_ALGORITHMS)
+    @pytest.mark.parametrize("batch_size", [5, None])
+    def test_uniform_cohort_matches_serial(self, name, batch_size):
+        sizes = [20] * 6  # one cohort per round
+        serial = run_simulation(name, SerialExecutor(), sizes,
+                                batch_size=batch_size,
+                                algorithm_kwargs=ALGO_KWARGS.get(name))
+        vectorized = run_simulation(name, VectorizedExecutor(), sizes,
+                                    batch_size=batch_size,
+                                    algorithm_kwargs=ALGO_KWARGS.get(name))
+        assert_histories_match(serial, vectorized)
+
+    @pytest.mark.parametrize("name", BATCHED_ALGORITHMS)
+    def test_ragged_datasets_match_serial(self, name):
+        # Four distinct dataset sizes -> at least four cohorts per round,
+        # with the shared training RNG threading through all of them in
+        # task order.
+        sizes = [8, 8, 13, 21, 21, 34, 5, 13]
+        serial = run_simulation(name, SerialExecutor(), sizes,
+                                algorithm_kwargs=ALGO_KWARGS.get(name))
+        vectorized = run_simulation(name, VectorizedExecutor(), sizes,
+                                    algorithm_kwargs=ALGO_KWARGS.get(name))
+        assert_histories_match(serial, vectorized)
+
+    def test_cohort_of_size_one(self):
+        sizes = [25]  # a single client: leading axis of 1 end to end
+        serial = run_simulation("fedadmm", SerialExecutor(), sizes,
+                                algorithm_kwargs={"rho": 0.3})
+        vectorized = run_simulation("fedadmm", VectorizedExecutor(), sizes,
+                                    algorithm_kwargs={"rho": 0.3})
+        assert_histories_match(serial, vectorized)
+
+    def test_variable_epochs_group_into_ragged_cohorts(self):
+        # UniformRandomEpochs gives each client its own epoch draw, so a
+        # round fragments into one cohort per realised epoch count; the
+        # work RNG is shared, so both runs see identical draws.
+        sizes = [16] * 8
+        work = lambda: UniformRandomEpochs(max_epochs=4)  # noqa: E731
+        serial = run_simulation("fedadmm", SerialExecutor(), sizes,
+                                local_work=work(),
+                                algorithm_kwargs={"rho": 0.3})
+        vectorized = run_simulation("fedadmm", VectorizedExecutor(), sizes,
+                                    local_work=work(),
+                                    algorithm_kwargs={"rho": 0.3})
+        assert_histories_match(serial, vectorized)
+
+
+class TestFallback:
+    def test_opt_out_algorithm_is_bit_identical_to_serial(self):
+        # SCAFFOLD opts out of batching; the vectorized executor must run
+        # its per-task serial loop, making the histories *exactly* equal.
+        sizes = [16] * 5
+        serial = run_simulation("scaffold", SerialExecutor(), sizes)
+        vectorized = run_simulation("scaffold", VectorizedExecutor(), sizes)
+        assert serial.history.records == vectorized.history.records
+        np.testing.assert_array_equal(
+            serial.final_params, vectorized.final_params
+        )
+
+    def test_opt_out_algorithm_reports_no_vectorization(self):
+        split, clients = make_ragged_clients([10, 10])
+        problems = [
+            LocalProblem(
+                model=MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                          rng=np.random.default_rng(0)),
+                loss=CrossEntropyLoss(),
+                dataset=client.dataset,
+            )
+            for client in clients
+        ]
+        executor = VectorizedExecutor()
+        executor.prime(problems, build_algorithm("scaffold"))
+        assert not executor.vectorizes
+        executor.prime(problems, build_algorithm("fedavg"))
+        assert executor.vectorizes
+
+    def test_unbatchable_model_falls_back_bit_identically(self):
+        # Convolutions have no stacked kernels: prime() must detect this
+        # and the run must equal serial exactly.
+        split = make_blobs(n_train=60, n_test=20, num_classes=3,
+                           feature_dim=16, rng=0)
+        clients = [
+            ClientState(
+                client_id=i,
+                dataset=Dataset(
+                    features=split.train.features[i * 20:(i + 1) * 20],
+                    labels=split.train.labels[i * 20:(i + 1) * 20],
+                ),
+            )
+            for i in range(3)
+        ]
+
+        def run(executor):
+            model = SmallCNN(rng=np.random.default_rng(1), channels=1,
+                             image_size=4, num_classes=3,
+                             conv_channels=(2, 2), hidden=8)
+            fresh = [
+                ClientState(client_id=c.client_id, dataset=c.dataset)
+                for c in clients
+            ]
+            simulation = FederatedSimulation(
+                algorithm=build_algorithm("fedavg"),
+                model=model,
+                clients=fresh,
+                test_dataset=split.test,
+                sampler=UniformFractionSampler(1.0),
+                batch_size=10,
+                learning_rate=0.05,
+                seed=7,
+                executor=executor,
+            )
+            return simulation.run(2, target_accuracy=None)
+
+        serial, vectorized = run(SerialExecutor()), run(VectorizedExecutor())
+        assert serial.history.records == vectorized.history.records
+        np.testing.assert_array_equal(
+            serial.final_params, vectorized.final_params
+        )
+
+
+class TestBufferedPlans:
+    """Vectorized under async/semisync: per-task integer seeds."""
+
+    def test_async_plan_matches_serial(self):
+        sizes = [16] * 6
+        from repro.federated.async_engine import AsyncFederatedSimulation
+
+        def run(executor):
+            split, clients = make_ragged_clients(sizes, seed=3)
+            model = MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                        rng=np.random.default_rng(5))
+            simulation = AsyncFederatedSimulation(
+                algorithm=build_algorithm("fedavg"),
+                model=model,
+                clients=clients,
+                test_dataset=split.test,
+                sampler=UniformFractionSampler(0.5),
+                batch_size=5,
+                learning_rate=0.1,
+                seed=11,
+                buffer_size=2,
+                max_concurrency=4,
+                network=LogNormalNetwork(),
+                executor=executor,
+            )
+            return simulation.run(4, target_accuracy=None)
+
+        serial, vectorized = run(SerialExecutor()), run(VectorizedExecutor())
+        assert_histories_match(serial, vectorized)
+
+    def test_semisync_plan_matches_serial(self):
+        from repro.federated.plans import SemiSyncPlan
+
+        def run(executor):
+            split, clients = make_ragged_clients([16] * 6, seed=3)
+            model = MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                        rng=np.random.default_rng(5))
+            simulation = FederatedSimulation(
+                algorithm=build_algorithm("fedadmm", rho=0.3),
+                model=model,
+                clients=clients,
+                test_dataset=split.test,
+                sampler=UniformFractionSampler(0.5),
+                batch_size=5,
+                learning_rate=0.1,
+                seed=11,
+                network=LogNormalNetwork(),
+                plan=SemiSyncPlan(round_deadline_s=5.0),
+                executor=executor,
+            )
+            return simulation.run(4, target_accuracy=None)
+
+        serial, vectorized = run(SerialExecutor()), run(VectorizedExecutor())
+        assert_histories_match(serial, vectorized)
+
+
+class TestCohortMechanics:
+    def _prime(self, sizes, algorithm_name="fedavg", seed=0):
+        split, clients = make_ragged_clients(sizes, seed=seed)
+        model = MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                    rng=np.random.default_rng(2))
+        problems = [
+            LocalProblem(model=model, loss=CrossEntropyLoss(),
+                         dataset=client.dataset)
+            for client in clients
+        ]
+        executor = VectorizedExecutor()
+        algorithm = build_algorithm(algorithm_name)
+        executor.prime(problems, algorithm)
+        params = model.get_flat_params()
+        return executor, clients, params
+
+    def _task(self, clients, params, index, epochs, rng, batch_size=5):
+        return LocalUpdateTask(
+            client_index=index,
+            client=clients[index],
+            global_params=params,
+            server_state={},
+            config=LocalTrainingConfig(
+                epochs=epochs, batch_size=batch_size, learning_rate=0.1
+            ),
+            round_index=0,
+            rng=rng,
+        )
+
+    def test_outcomes_preserve_task_order_across_cohorts(self):
+        # Interleave two dataset sizes and two epoch counts: four cohorts,
+        # but the outcome list must still line up with the task list.
+        sizes = [10, 20, 10, 20, 10, 20]
+        executor, clients, params = self._prime(sizes)
+        tasks = [
+            self._task(clients, params, i, epochs=1 + (i % 2), rng=100 + i)
+            for i in range(len(sizes))
+        ]
+        outcomes = executor.run_tasks(tasks)
+        assert [o.message.client_id for o in outcomes] == [
+            t.client.client_id for t in tasks
+        ]
+        assert [o.message.local_epochs for o in outcomes] == [
+            t.config.epochs for t in tasks
+        ]
+        assert [o.message.num_samples for o in outcomes] == sizes
+
+    def test_mixed_cohorts_match_per_task_serial_execution(self):
+        # The same interleaved task list through a serial executor, with
+        # identical per-task seeds: grouping must not change results.
+        sizes = [10, 20, 10, 20, 10, 20]
+        vec, clients_v, params = self._prime(sizes)
+        ser, clients_s, params_s = self._prime(sizes)
+        np.testing.assert_array_equal(params, params_s)
+        serial = SerialExecutor()
+        serial.prime(ser._problems, ser._algorithm)
+        tasks_v = [
+            self._task(clients_v, params, i, epochs=1 + (i % 2), rng=100 + i)
+            for i in range(len(sizes))
+        ]
+        tasks_s = [
+            self._task(clients_s, params, i, epochs=1 + (i % 2), rng=100 + i)
+            for i in range(len(sizes))
+        ]
+        for out_v, out_s in zip(vec.run_tasks(tasks_v), serial.run_tasks(tasks_s)):
+            np.testing.assert_allclose(
+                out_v.message.payload["params"],
+                out_s.message.payload["params"],
+                atol=ATOL, rtol=0,
+            )
+
+    def test_build_executor_registry_entry(self):
+        assert isinstance(build_executor("vectorized"), VectorizedExecutor)
+        # max_workers is meaningless for the in-process stacked executor
+        # but must not crash the shared CLI flag path.
+        assert isinstance(
+            build_executor("vectorized", max_workers=4), VectorizedExecutor
+        )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Any
 
 from repro.exceptions import ConfigurationError
@@ -37,6 +38,7 @@ from repro.experiments.store import ExperimentStore, RunStatus
 from repro.experiments.studies import STUDIES
 from repro.experiments.tables import format_table
 from repro.federated.staleness import STALENESS_REGISTRY
+from repro.obs import MetricsRegistry, Profiler, Tracer, observe
 from repro.systems import CODEC_REGISTRY, EXECUTOR_REGISTRY, NETWORK_REGISTRY
 from repro.utils.serialization import save_json, to_jsonable
 
@@ -118,6 +120,20 @@ def _shared_flags() -> argparse.ArgumentParser:
                                help="persist per-run records/results in this "
                                     f"directory (default with --resume: "
                                     f"{DEFAULT_STORE_DIR})")
+    orchestration.add_argument("--progress", action="store_true",
+                               help="stream per-spec [k/n] progress lines "
+                                    "with durations and an ETA, even for "
+                                    "plain serial invocations")
+    obs = common.add_argument_group(
+        "observability (see repro.obs and docs/tutorials/observability.md)")
+    obs.add_argument("--trace", default=None, dest="trace_path", metavar="PATH",
+                     help="record spans and write a Chrome trace_event JSON "
+                          "here (open in chrome://tracing or Perfetto); a "
+                          "raw span log lands next to it at PATH.spans.jsonl")
+    obs.add_argument("--metrics", default=None, dest="metrics_path",
+                     metavar="PATH",
+                     help="record runtime counters/gauges/histograms and "
+                          "write the JSON snapshot here")
     return common
 
 
@@ -137,6 +153,16 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         for flag in study.flags:
             sub.add_argument(flag.name, **flag.kwargs)
+    profile = subparsers.add_parser(
+        "profile", parents=[shared],
+        help="run a study under the profiler and print its hot-spot table",
+        description="Run one study with per-phase and per-kernel timing "
+                    "enabled, then print where the wall-clock went.",
+    )
+    profile.add_argument("study", choices=sorted(EXPERIMENTS),
+                         help="the study to profile")
+    profile.add_argument("--top", type=int, default=None,
+                         help="show only the N hottest entries")
     runs = subparsers.add_parser(
         "runs", help="inspect/maintain the persistent run store",
         description="List, show, and clean the run records behind "
@@ -155,14 +181,26 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_duration(seconds: float) -> str:
+    """Compact human-readable duration: ``42.1s``, ``3m10s``, ``1h02m``."""
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
 def _progress_printer(event: SpecEvent) -> None:
     """Render one orchestrator progress event as a ``[k/n]`` line."""
     if event.event == "start":
         return
     position = f"[{event.index + 1}/{event.total}]"
     elapsed = "" if event.elapsed_s is None else f" {event.elapsed_s:.1f}s"
+    eta = "" if event.eta_s is None else f" (eta {_format_duration(event.eta_s)})"
     suffix = f" ({event.error.splitlines()[-1]})" if event.error else ""
-    print(f"{position} {event.event:7s} {event.spec.label()}{elapsed}{suffix}")
+    print(f"{position} {event.event:7s} {event.spec.label()}{elapsed}{eta}{suffix}")
 
 
 def build_orchestrator(args: Any) -> SweepOrchestrator | None:
@@ -176,7 +214,8 @@ def build_orchestrator(args: Any) -> SweepOrchestrator | None:
     jobs = 1 if jobs is None else jobs
     resume = getattr(args, "resume", False)
     store_dir = getattr(args, "store_dir", None)
-    if jobs == 1 and not resume and store_dir is None:
+    want_progress = getattr(args, "progress", False)
+    if jobs == 1 and not resume and store_dir is None and not want_progress:
         return None
     if store_dir is None and resume:
         store_dir = DEFAULT_STORE_DIR
@@ -210,6 +249,36 @@ def _record_row(record) -> dict:
     }
 
 
+def _format_bytes(count: float) -> str:
+    """Human-readable byte count (``12.3 MiB``)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _print_wire_totals(result) -> None:
+    """Wire-byte totals, preferring the run's metrics snapshot when saved."""
+    snapshot = result.metadata.get("metrics")
+    if isinstance(snapshot, dict):
+        counters = snapshot.get("counters", {})
+        uploads = sum(
+            value for name, value in counters.items()
+            if name.startswith("wire.upload_bytes.")
+        )
+        downloads = counters.get("wire.download_bytes", 0.0)
+        if uploads or downloads:
+            print(f"upload_wire_bytes: {_format_bytes(uploads)} (from metrics)")
+            print(f"download_wire_bytes: {_format_bytes(downloads)} (from metrics)")
+            return
+    print(
+        "upload_wire_bytes: "
+        f"{_format_bytes(result.history.total_upload_wire_bytes())}"
+    )
+
+
 def handle_runs(args: Any) -> int:
     """Implement ``repro runs list|show|clean``."""
     store = ExperimentStore(args.store_dir)
@@ -237,6 +306,12 @@ def handle_runs(args: Any) -> int:
             print(f"error: no run {args.key!r} in {store.root}", file=sys.stderr)
             return 1
         print(format_table([_record_row(record)]))
+        if record.updated_at:
+            age = max(0.0, time.time() - record.updated_at)
+            print(f"\nstatus: {record.status.value} "
+                  f"(as of {_format_duration(age)} ago)")
+        if record.duration_s is not None:
+            print(f"run duration: {_format_duration(record.duration_s)}")
         if record.error:
             print(f"\nerror:\n{record.error}")
         if store.has_result(record.key):
@@ -245,6 +320,7 @@ def handle_runs(args: Any) -> int:
             print(f"rounds_to_target: {result.rounds_to_target}")
             print(f"final_accuracy: {result.history.final_accuracy():.4f}")
             print(f"simulated_seconds: {result.simulated_seconds:.1f}")
+            _print_wire_totals(result)
         return 0
     # clean
     statuses = (
@@ -281,13 +357,31 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "runs":
         return handle_runs(args)
+
+    profiling = args.experiment == "profile"
+    study_name = args.study if profiling else args.experiment
+    tracer = Tracer() if getattr(args, "trace_path", None) else None
+    metrics = MetricsRegistry() if getattr(args, "metrics_path", None) else None
+    profiler = Profiler() if profiling else None
     try:
-        result = run_experiment(args.experiment, args)
+        with observe(tracer=tracer, metrics=metrics, profiler=profiler):
+            result = run_experiment(study_name, args)
     except ConfigurationError as exc:
         # Fail fast with one clear line on unsupported flag combinations
         # (e.g. `--mode sync` on the async study) instead of a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if tracer is not None:
+        trace_path = tracer.write_chrome_trace(args.trace_path)
+        span_log = tracer.write_span_log(f"{args.trace_path}.spans.jsonl")
+        print(f"\nWrote Chrome trace to {trace_path} "
+              f"({len(tracer)} spans; span log: {span_log})")
+    if metrics is not None:
+        metrics_path = metrics.write_json(args.metrics_path)
+        print(f"Wrote metrics snapshot to {metrics_path}")
+    if profiler is not None:
+        print(f"\nHot spots for {study_name}:")
+        print(profiler.hotspot_table(top=getattr(args, "top", None)))
     if args.output:
         path = save_json(to_jsonable(result), args.output)
         print(f"\nSaved raw results to {path}")

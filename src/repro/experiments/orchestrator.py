@@ -32,6 +32,7 @@ from repro.exceptions import ConfigurationError, SimulationError
 from repro.experiments.configs import AlgorithmSpec, ExperimentConfig
 from repro.experiments.store import ExperimentStore, RunStatus
 from repro.federated.engine import SimulationResult
+from repro.obs.runtime import get_obs
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,10 @@ class SpecEvent:
     total: int  #: sweep size
     elapsed_s: float | None = None
     error: str | None = None
+    #: Estimated seconds until the sweep finishes: the mean elapsed time of
+    #: the specs resolved so far times the number still outstanding.  Only
+    #: on "done"/"failed" events, and only once one spec has actually run.
+    eta_s: float | None = None
 
 
 ProgressCallback = Callable[[SpecEvent], None]
@@ -122,11 +127,30 @@ class SweepOrchestrator:
         self.resume = resume
         self.progress = progress
         self.last_report: SweepReport | None = None
+        # Observability: spec-level spans and sweep counters land in the
+        # process-wide sinks (one observe() block instruments the sweep).
+        obs = get_obs()
+        self._tracer = obs.tracer
+        self._metrics = obs.metrics
+        # ETA state, reset per execute(): elapsed times of resolved specs
+        # and the count still outstanding.
+        self._elapsed_done: list[float] = []
+        self._outstanding = 0
 
     # ------------------------------------------------------------------ #
     def _emit(self, event: SpecEvent) -> None:
         if self.progress is not None:
             self.progress(event)
+
+    def _eta(self, elapsed: float) -> float | None:
+        """Fold one resolved spec's elapsed time into the ETA estimate."""
+        self._elapsed_done.append(elapsed)
+        self._outstanding -= 1
+        if self._outstanding <= 0:
+            return None
+        mean = sum(self._elapsed_done) / len(self._elapsed_done)
+        # With jobs > 1 the outstanding specs drain in parallel waves.
+        return mean * self._outstanding / self.jobs
 
     def execute(self, specs: list[RunSpec]) -> dict[tuple, SimulationResult]:
         """Run every spec and return ``{spec.key: result}`` in spec order.
@@ -152,10 +176,14 @@ class SweepOrchestrator:
                 if self.resume and self.store.has_result(key, records=stored):
                     results[index] = self.store.load_result(key)
                     report.skipped.append(spec)
+                    if self._metrics is not None:
+                        self._metrics.counter("sweep.store_hits").inc()
                     self._emit(SpecEvent("skipped", spec, index, total))
                     continue
                 self.store.mark(spec, RunStatus.PENDING)
             pending.append(index)
+        self._elapsed_done = []
+        self._outstanding = len(pending)
 
         if self.jobs == 1:
             self._run_serial(specs, pending, total, results, report)
@@ -192,7 +220,14 @@ class SweepOrchestrator:
             self.store.save_result(spec, result, duration_s=elapsed)
         results[index] = result
         report.executed.append(spec)
-        self._emit(SpecEvent("done", spec, index, total, elapsed_s=elapsed))
+        if self._metrics is not None:
+            self._metrics.counter("sweep.specs_done").inc()
+        self._emit(
+            SpecEvent(
+                "done", spec, index, total,
+                elapsed_s=elapsed, eta_s=self._eta(elapsed),
+            )
+        )
 
     def _fail(
         self,
@@ -206,7 +241,14 @@ class SweepOrchestrator:
         if self.store is not None:
             self.store.mark(spec, RunStatus.FAILED, duration_s=elapsed, error=error)
         report.failed.append((spec, error))
-        self._emit(SpecEvent("failed", spec, index, total, elapsed_s=elapsed, error=error))
+        if self._metrics is not None:
+            self._metrics.counter("sweep.specs_failed").inc()
+        self._emit(
+            SpecEvent(
+                "failed", spec, index, total,
+                elapsed_s=elapsed, error=error, eta_s=self._eta(elapsed),
+            )
+        )
 
     def _run_serial(self, specs, pending, total, results, report) -> None:
         for index in pending:
@@ -214,7 +256,13 @@ class SweepOrchestrator:
             self._start(spec, index, total)
             started = time.perf_counter()
             try:
-                result = execute_spec(spec)
+                # The spec span stays open while the simulation runs, so
+                # the engine's "run" span (same process-wide tracer) nests
+                # under it.
+                with self._tracer.span(
+                    "spec", category="sweep", label=spec.label()
+                ):
+                    result = execute_spec(spec)
             except Exception:
                 self._fail(
                     spec, index, total, traceback.format_exc(),
@@ -259,6 +307,15 @@ class SweepOrchestrator:
                         self._fail(spec, index, total, detail, elapsed, report)
                     else:
                         result, elapsed = future.result()
+                        if self._tracer.enabled:
+                            # The run happened in a worker process; record
+                            # its extent from the worker-measured duration.
+                            self._tracer.emit(
+                                "spec",
+                                category="sweep",
+                                duration_s=elapsed,
+                                label=spec.label(),
+                            )
                         self._finish(
                             spec, index, total, result, elapsed,
                             results, report,

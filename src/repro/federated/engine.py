@@ -42,6 +42,9 @@ from repro.federated.sampler import ClientSampler, UniformFractionSampler
 from repro.federated.state import ServerState
 from repro.nn.losses import CrossEntropyLoss, Loss
 from repro.nn.module import Module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.trace import Tracer
 from repro.utils.rng import RngFactory
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
@@ -99,6 +102,9 @@ class FederatedSimulation:
         faults: FaultInjector | None = None,
         executor: ClientExecutor | None = None,
         plan: ExecutionPlan | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler: Profiler | None = None,
     ):
         if not clients:
             raise ConfigurationError("FederatedSimulation needs at least one client")
@@ -144,6 +150,9 @@ class FederatedSimulation:
             transport=transport,
             network=network,
             faults=faults,
+            tracer=tracer,
+            metrics=metrics,
+            profiler=profiler,
         )
 
         initial_params = model.get_flat_params()
@@ -159,6 +168,11 @@ class FederatedSimulation:
 
         self.history = TrainingHistory(algorithm=algorithm.name)
         self.ledger = CommunicationLedger()
+
+        if self.tracer.enabled and self.tracer.virtual_clock is None:
+            # Default virtual clock: cumulative simulated seconds.  Plans
+            # that own a scheduler repoint this at scheduler.now in bind().
+            self.tracer.virtual_clock = self.history.total_simulated_seconds
 
         self.plan = plan if plan is not None else SyncPlan()
         if self.plan.bound:
@@ -194,6 +208,19 @@ class FederatedSimulation:
     @property
     def executor(self) -> ClientExecutor:
         return self.pipeline.executor
+
+    @property
+    def tracer(self) -> Tracer:
+        """The simulation's tracer (the shared null tracer when disabled)."""
+        return self.pipeline.tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        return self.pipeline.metrics
+
+    @property
+    def profiler(self) -> Profiler | None:
+        return self.pipeline.profiler
 
     @property
     def transport(self) -> Transport | None:
@@ -243,7 +270,10 @@ class FederatedSimulation:
     # ------------------------------------------------------------------ #
     def run_round(self) -> RoundRecord:
         """Execute a single round under the configured execution plan."""
-        return self.plan.run_round(self)
+        with self.tracer.span(
+            "round", round=self.state.rounds_run, plan=self.plan.name
+        ):
+            return self.plan.run_round(self)
 
     def run(
         self,
@@ -260,15 +290,18 @@ class FederatedSimulation:
         if num_rounds <= 0:
             raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
         try:
-            for _ in range(num_rounds):
-                record = self.run_round()
-                reached = (
-                    target_accuracy is not None
-                    and record.test_accuracy is not None
-                    and record.test_accuracy >= target_accuracy
-                )
-                if reached and stop_at_target:
-                    break
+            with self.tracer.span(
+                "run", algorithm=self.algorithm.name, plan=self.plan.name
+            ):
+                for _ in range(num_rounds):
+                    record = self.run_round()
+                    reached = (
+                        target_accuracy is not None
+                        and record.test_accuracy is not None
+                        and record.test_accuracy >= target_accuracy
+                    )
+                    if reached and stop_at_target:
+                        break
         finally:
             self.pipeline.close()
 
@@ -291,6 +324,18 @@ class FederatedSimulation:
             if target_accuracy is None
             else self.history.rounds_to_accuracy(target_accuracy)
         )
+        metadata = {
+            "num_clients": len(self.clients),
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "executor": type(self.executor).__name__,
+            "codec": None if self.transport is None else self.transport.codec.name,
+            **self.plan.extra_metadata(self),
+        }
+        if self.metrics is not None:
+            # Only when metrics are active: default payloads stay identical
+            # to pre-observability runs (store keys, golden comparisons).
+            metadata["metrics"] = self.metrics.snapshot()
         return SimulationResult(
             algorithm=self.algorithm.name,
             history=self.history,
@@ -300,12 +345,5 @@ class FederatedSimulation:
             rounds_run=self.state.rounds_run,
             target_accuracy=target_accuracy,
             rounds_to_target=rounds_to_target,
-            metadata={
-                "num_clients": len(self.clients),
-                "batch_size": self.batch_size,
-                "learning_rate": self.learning_rate,
-                "executor": type(self.executor).__name__,
-                "codec": None if self.transport is None else self.transport.codec.name,
-                **self.plan.extra_metadata(self),
-            },
+            metadata=metadata,
         )

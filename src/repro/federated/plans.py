@@ -158,13 +158,14 @@ class SyncPlan(ExecutionPlan):
         messages, upload_wire_bytes = pipeline.compress(messages)
 
         if messages:
-            state.params = engine.algorithm.aggregate(
-                state.params,
-                state.algorithm_state,
-                messages,
-                num_clients,
-                round_index,
-            )
+            with engine.tracer.span("aggregate", updates=len(messages)):
+                state.params = engine.algorithm.aggregate(
+                    state.params,
+                    state.algorithm_state,
+                    messages,
+                    num_clients,
+                    round_index,
+                )
         # With no survivor the round is abandoned: the global model is
         # unchanged, but the communication and time costs were still paid.
 
@@ -236,7 +237,10 @@ class SemiSyncPlan(ExecutionPlan):
                 "its round deadline; pass network= (HomogeneousNetwork "
                 "works for homogeneous populations)"
             )
-        self._scheduler = AsyncScheduler(len(engine.clients))
+        self._scheduler = AsyncScheduler(len(engine.clients), tracer=engine.tracer)
+        if engine.tracer.enabled:
+            # Spans opened from here on read the scheduler's virtual clock.
+            engine.tracer.virtual_clock = lambda: self._scheduler.now
         if self.round_deadline_s is None:
             times = sorted(
                 engine.pipeline.client_round_seconds(
@@ -349,13 +353,14 @@ class SemiSyncPlan(ExecutionPlan):
             update.message = message
 
         if arrived:
-            state.params = engine.algorithm.aggregate_async(
-                state.params,
-                state.algorithm_state,
-                arrived,
-                len(engine.clients),
-                state.model_version,
-            )
+            with engine.tracer.span("aggregate", updates=len(arrived)):
+                state.params = engine.algorithm.aggregate_async(
+                    state.params,
+                    state.algorithm_state,
+                    arrived,
+                    len(engine.clients),
+                    state.model_version,
+                )
             state.model_version += 1
         # An empty window is an abandoned round: the deadline elapsed, the
         # costs were paid, and the model version did not advance.
@@ -474,7 +479,10 @@ class AsyncPlan(ExecutionPlan):
         self.buffer_size = int(buffer_size)
         self.max_concurrency = int(min(max_concurrency, num_clients))
 
-        self._scheduler = AsyncScheduler(num_clients)
+        self._scheduler = AsyncScheduler(num_clients, tracer=engine.tracer)
+        if engine.tracer.enabled:
+            # Spans opened from here on read the scheduler's virtual clock.
+            engine.tracer.virtual_clock = lambda: self._scheduler.now
         self._dispatch_rng = engine._rng_factory.make("async-dispatch")
 
     @staticmethod
@@ -605,6 +613,9 @@ class AsyncPlan(ExecutionPlan):
                     )
                 )
                 self._window_epochs.append(inflight.epochs)
+                metrics = engine.pipeline.metrics
+                if metrics is not None:
+                    metrics.gauge("async.buffer_depth").set(len(self._buffer))
             self._fill_dispatch_slots(engine)
         return self._aggregate_buffer(engine)
 
@@ -626,13 +637,14 @@ class AsyncPlan(ExecutionPlan):
         for update, message in zip(updates, compressed):
             update.message = message
 
-        state.params = engine.algorithm.aggregate_async(
-            state.params,
-            state.algorithm_state,
-            updates,
-            len(engine.clients),
-            state.model_version,
-        )
+        with engine.tracer.span("aggregate", updates=len(updates)):
+            state.params = engine.algorithm.aggregate_async(
+                state.params,
+                state.algorithm_state,
+                updates,
+                len(engine.clients),
+                state.model_version,
+            )
         state.model_version += 1
         state.rounds_run += 1
         evaluation = engine._maybe_evaluate()

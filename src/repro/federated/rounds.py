@@ -17,6 +17,7 @@ and asynchronous histories bit-for-bit reproducible across refactors.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -31,6 +32,10 @@ from repro.federated.messages import BYTES_PER_FLOAT, ClientMessage
 from repro.federated.state import RoundContext
 from repro.nn.losses import Loss
 from repro.nn.module import Module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.runtime import get_obs, observe
+from repro.obs.trace import Tracer
 from repro.utils.rng import RngFactory, SeedLike
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
@@ -72,6 +77,9 @@ class ClientWorkPipeline:
         transport: Transport | None = None,
         network: NetworkModel | None = None,
         faults: FaultInjector | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler: Profiler | None = None,
     ):
         self.algorithm = algorithm
         self.clients = clients
@@ -82,6 +90,14 @@ class ClientWorkPipeline:
         self.batch_size = batch_size
         self.learning_rate = learning_rate
         self.dim = model.get_flat_params().size
+
+        # Observability sinks: explicit arguments win; otherwise resolve
+        # from the process-wide context (see repro.obs.runtime), so one
+        # observe() block around a run instruments everything.
+        obs = get_obs()
+        self.tracer = tracer if tracer is not None else obs.tracer
+        self.metrics = metrics if metrics is not None else obs.metrics
+        self.profiler = profiler if profiler is not None else obs.profiler
 
         self._rng_factory = rng_factory
         self.training_rng = rng_factory.make("local-training")
@@ -100,8 +116,18 @@ class ClientWorkPipeline:
         ]
         # Ship the immutable per-client problems to the executor once; for
         # process pools this is what reaches the workers at creation, so the
-        # per-round task payloads stay small.
-        self.executor.prime(self.problems, self.algorithm)
+        # per-round task payloads stay small.  Priming runs under this
+        # pipeline's resolved sinks so executors that consult get_obs() —
+        # the vectorized executor attaches the profiler to its batched
+        # kernels — see the same sinks regardless of injection route.
+        with observe(
+            tracer=self.tracer, metrics=self.metrics, profiler=self.profiler
+        ):
+            self.executor.prime(self.problems, self.algorithm)
+
+    def _timed(self, key: str):
+        """Profiler phase timer, or a no-op when profiling is off."""
+        return self.profiler.time(key) if self.profiler is not None else nullcontext()
 
     # ------------------------------------------------------------------ #
     # Seeding
@@ -164,6 +190,15 @@ class ClientWorkPipeline:
         Without a network model round time is 0.0; without a fault injector
         every selected client survives.
         """
+        with self._timed("pipeline.simulate_systems"):
+            return self._simulate_systems(round_index, selected, epochs_by_client)
+
+    def _simulate_systems(
+        self,
+        round_index: int,
+        selected: np.ndarray,
+        epochs_by_client: dict[int, int],
+    ) -> RoundContext:
         selected_ids = [int(c) for c in selected]
         ctx = RoundContext(
             round_index=round_index,
@@ -228,6 +263,7 @@ class ClientWorkPipeline:
         """
         from repro.systems.executor import LocalUpdateTask
 
+        trace = self.tracer.enabled
         tasks = [
             LocalUpdateTask(
                 client_index=item.client_index,
@@ -241,12 +277,24 @@ class ClientWorkPipeline:
                 ),
                 round_index=item.round_index,
                 rng=item.rng,
+                trace=trace,
             )
             for item in work
         ]
-        outcomes = self.executor.run_tasks(tasks) if tasks else []
+        with self._timed("pipeline.local_updates"):
+            outcomes = self.executor.run_tasks(tasks) if tasks else []
         for task, outcome in zip(tasks, outcomes):
             self.merge_client(task.client_index, outcome.client)
+        if self.metrics is not None and tasks:
+            self.metrics.counter("tasks_executed").inc(len(tasks))
+        if trace:
+            # Executors return picklable span records (possibly produced in
+            # worker threads/processes); adopting re-parents the orphan
+            # client_task roots under the caller's open round span and gives
+            # every record a place in this tracer's FIFO order.
+            produced = [span for outcome in outcomes for span in outcome.spans]
+            if produced:
+                self.tracer.adopt(produced)
         return outcomes
 
     def merge_client(self, client_index: int, updated: ClientState) -> None:
@@ -270,17 +318,23 @@ class ClientWorkPipeline:
         messages pass through and the wire bytes are the raw float bytes.
         """
         messages = list(messages)
-        if self.transport is None:
-            uploads = sum(msg.upload_floats for msg in messages)
-            return messages, uploads * BYTES_PER_FLOAT
-        wire_bytes = 0
-        compressed: list[ClientMessage] = []
-        for message in messages:
-            message, wire = self.transport.compress_message(
-                message, self.transport_rng
-            )
-            compressed.append(message)
-            wire_bytes += wire
+        codec = "raw" if self.transport is None else self.transport.codec.name
+        with self.tracer.span("compress", codec=codec, messages=len(messages)):
+            with self._timed("pipeline.compress"):
+                if self.transport is None:
+                    uploads = sum(msg.upload_floats for msg in messages)
+                    compressed, wire_bytes = messages, uploads * BYTES_PER_FLOAT
+                else:
+                    wire_bytes = 0
+                    compressed = []
+                    for message in messages:
+                        message, wire = self.transport.compress_message(
+                            message, self.transport_rng
+                        )
+                        compressed.append(message)
+                        wire_bytes += wire
+        if self.metrics is not None and messages:
+            self.metrics.counter(f"wire.upload_bytes.{codec}").inc(wire_bytes)
         return compressed, wire_bytes
 
     def close(self) -> None:
@@ -344,4 +398,14 @@ def finalise_round(
         uploads, downloads, upload_wire_bytes, download_wire_bytes
     )
     engine.history.append(record)
+    metrics = engine.pipeline.metrics
+    if metrics is not None:
+        metrics.counter("rounds_completed").inc()
+        metrics.counter("wire.download_bytes").inc(download_wire_bytes)
+        if dropped:
+            metrics.counter("clients.dropped").inc(len(dropped))
+        if stalenesses:
+            staleness_hist = metrics.histogram("staleness")
+            for staleness in stalenesses:
+                staleness_hist.observe(staleness)
     return record

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -92,14 +93,19 @@ class AsyncScheduler:
     start at the current clock reading.
     """
 
-    def __init__(self, num_clients: int):
+    def __init__(self, num_clients: int, tracer: Tracer | None = None):
         if num_clients <= 0:
             raise ConfigurationError(
                 f"num_clients must be positive, got {num_clients}"
             )
         self.num_clients = num_clients
+        #: When an enabled tracer is attached, every completion emits a
+        #: ``client_flight`` span spanning dispatch → completion on the
+        #: virtual clock (wall duration is irrelevant and left at zero).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._queue = EventQueue()
         self._in_flight: set[int] = set()
+        self._dispatch_time: dict[int, float] = {}
         self._now = 0.0
 
     # ------------------------------------------------------------------ #
@@ -143,6 +149,8 @@ class AsyncScheduler:
                 f"duration_s must be non-negative, got {duration_s}"
             )
         self._in_flight.add(client_id)
+        if self.tracer.enabled:
+            self._dispatch_time[client_id] = self._now
         return self._queue.push(self._now + duration_s, client_id, payload)
 
     def next_completion(self) -> ClientCompletion:
@@ -151,6 +159,15 @@ class AsyncScheduler:
         self._in_flight.discard(event.client_id)
         # The clock never runs backwards even under pathological durations.
         self._now = max(self._now, event.time)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "client_flight",
+                category="scheduler",
+                virtual_start_s=self._dispatch_time.pop(event.client_id, None),
+                virtual_end_s=event.time,
+                client=event.client_id,
+                event_seq=event.seq,
+            )
         return event
 
     def peek_time(self) -> float:

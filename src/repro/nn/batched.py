@@ -31,6 +31,7 @@ consumes arrays and a training config, exactly like the serial kernels in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -212,11 +213,17 @@ class BatchedModel:
         self.ops = ops
         self.dim = dim
         self.loss = loss
+        #: Optional :class:`repro.obs.Profiler`: when set, every stacked
+        #: op's forward/backward is timed under a ``kernel.*`` key.  The
+        #: untimed hot path pays exactly one ``None`` check per call.
+        self.profiler = None
 
     def loss_and_grad(
         self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-client mean loss ``(C,)`` and flat gradients ``(C, dim)``."""
+        if self.profiler is not None:
+            return self._profiled_loss_and_grad(params, features, labels)
         x = features
         for op in self.ops:
             x = op.forward(params, x)
@@ -224,6 +231,34 @@ class BatchedModel:
         grads = np.zeros((params.shape[0], self.dim), dtype=np.float64)
         for op in reversed(self.ops):
             grad_output = op.backward(grads, grad_output)
+        return losses, grads
+
+    def _profiled_loss_and_grad(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The same computation with per-kernel timing (``repro profile``)."""
+        profiler = self.profiler
+        x = features
+        for op in self.ops:
+            started = time.perf_counter()
+            x = op.forward(params, x)
+            profiler.add(
+                f"kernel.{type(op).__name__}.forward",
+                time.perf_counter() - started,
+            )
+        started = time.perf_counter()
+        losses, grad_output = self.loss.value_and_grad(x, labels)
+        profiler.add(
+            f"kernel.{type(self.loss).__name__}", time.perf_counter() - started
+        )
+        grads = np.zeros((params.shape[0], self.dim), dtype=np.float64)
+        for op in reversed(self.ops):
+            started = time.perf_counter()
+            grad_output = op.backward(grads, grad_output)
+            profiler.add(
+                f"kernel.{type(op).__name__}.backward",
+                time.perf_counter() - started,
+            )
         return losses, grads
 
     def full_loss_and_grad(

@@ -1,0 +1,52 @@
+"""Observability: structured tracing, metrics, and profiling.
+
+Three zero-dependency pillars, each usable on its own:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` producing nested spans
+  (``round`` → ``client_task`` → ``local_sgd`` / ``compress`` /
+  ``aggregate``) that carry both wall-clock and the simulator's virtual
+  clock, with Chrome ``trace_event`` JSON export (loadable in
+  ``chrome://tracing`` / Perfetto) and a JSON-lines span log.  The
+  :class:`NullTracer` compiles to no-ops when tracing is disabled.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and histograms with a snapshot API and text/JSON dumps.
+* :mod:`repro.obs.profile` — a :class:`Profiler` accumulating per-phase
+  and per-kernel wall-clock into a hot-spot table
+  (``repro profile <study>``).
+
+The federation runtime resolves its observability sinks from the
+process-wide :func:`active context <repro.obs.runtime.get_obs>` at engine
+construction, so enabling tracing for a CLI run is one
+:func:`~repro.obs.runtime.observe` block around the study — no engine or
+plan signature changes.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.runtime import ObsContext, get_obs, observe, set_obs
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    load_chrome_trace,
+    read_span_log,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "ObsContext",
+    "Profiler",
+    "SpanRecord",
+    "Tracer",
+    "get_obs",
+    "load_chrome_trace",
+    "observe",
+    "read_span_log",
+    "set_obs",
+]

@@ -1,0 +1,223 @@
+"""Runtime metrics: counters, gauges, and histograms in one registry.
+
+A :class:`MetricsRegistry` is a flat, lock-protected name → instrument
+mapping with get-or-create semantics::
+
+    registry.counter("rounds_completed").inc()
+    registry.gauge("async.buffer_depth").set(len(buffer))
+    registry.histogram("staleness").observe(update.staleness)
+
+The federation runtime records rounds completed, tasks executed, wire
+bytes by codec, aggregation-buffer depth and the staleness distribution,
+cohort sizes and batched-vs-fallback task counts, and store hits on
+resume (see the metrics reference in ``docs/tutorials/observability.md``).
+
+``snapshot()`` returns a plain JSON-safe dict; ``render_text()`` a
+human-readable dump; ``write_json()`` persists the snapshot (the CLI's
+``--metrics PATH``).  Everything is stdlib-only and cheap enough to leave
+on: instruments are touched per round / per task, never per mini-batch.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+#: Default histogram bucket upper bounds (the last bucket is +inf).  Tuned
+#: for the quantities the runtime observes: staleness (small integers),
+#: cohort sizes, and second-scale durations all land in distinct buckets.
+DEFAULT_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (depths, sizes, in-flight counts)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.max_value = max(self.max_value, self.value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+class Histogram:
+    """Bucketed distribution with exact count/sum/min/max.
+
+    Buckets are cumulative-style upper bounds (Prometheus convention):
+    ``buckets[i]`` counts observations ``<= bounds[i]``, with one final
+    overflow bucket for everything larger.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} bucket bounds must be sorted, got {bounds}"
+            )
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+            "buckets": {
+                **{f"le_{bound:g}": n for bound, n in zip(self.bounds, self.buckets)},
+                "inf": self.buckets[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Process-wide, thread-safe name → instrument mapping."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Get-or-create accessors
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name, self._counters)
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name, self._gauges)
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name, self._histograms)
+                instrument = self._histograms[name] = Histogram(name, bounds)
+            return instrument
+
+    def _check_free(self, name: str, own: dict) -> None:
+        """One name, one instrument type — mixed reuse is a bug."""
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a different type"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe view of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: {"value": gauge.value, "max": gauge.max_value}
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.summary()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def render_text(self) -> str:
+        """Human-readable dump, one instrument per line."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"counter   {name} = {value:g}")
+        for name, gauge in snap["gauges"].items():
+            lines.append(
+                f"gauge     {name} = {gauge['value']:g} (max {gauge['max']:g})"
+            )
+        for name, hist in snap["histograms"].items():
+            mean = "nan" if hist["mean"] is None else f"{hist['mean']:.3g}"
+            lines.append(
+                f"histogram {name}: count={hist['count']} mean={mean} "
+                f"min={hist['min']} max={hist['max']}"
+            )
+        return "\n".join(lines)
+
+    def write_json(self, path: str | Path) -> Path:
+        """Persist ``snapshot()`` as JSON; returns the written path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -44,6 +44,9 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import os
+import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
@@ -54,6 +57,7 @@ from repro.exceptions import ConfigurationError, SimulationError
 from repro.federated.client import ClientState
 from repro.federated.local_problem import LocalProblem
 from repro.federated.messages import ClientMessage
+from repro.obs.trace import SpanRecord, new_span_id
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -63,7 +67,10 @@ class LocalUpdateTask:
 
     ``client_index`` selects the primed :class:`LocalProblem`; everything
     else is the round-varying state.  Kept slim on purpose: for process
-    pools this is the entire per-task wire payload.
+    pools this is the entire per-task wire payload.  ``trace`` asks the
+    executing side — possibly a worker thread or process — to record
+    picklable span records describing the task; the pipeline adopts them
+    into the engine's tracer on join.
     """
 
     client_index: int
@@ -73,6 +80,7 @@ class LocalUpdateTask:
     config: Any
     round_index: int
     rng: SeedLike
+    trace: bool = False
 
 
 @dataclass
@@ -82,10 +90,49 @@ class LocalUpdateOutcome:
     When the task ran in another process, ``client`` is a pickled copy whose
     mutated persistent variables the engine must merge back; in-process
     executors return the original object and the merge is a no-op.
+    ``spans`` carries the task's trace records (empty unless the task asked
+    for tracing); roots have ``parent_id=None`` so the adopting tracer can
+    re-parent them under the open round span.
     """
 
     message: ClientMessage
     client: ClientState
+    spans: tuple[SpanRecord, ...] = ()
+
+
+def _task_spans(
+    task: LocalUpdateTask,
+    wall_start: float,
+    task_duration_s: float,
+    sgd_wall_start: float,
+    sgd_duration_s: float,
+    **extra_attrs: Any,
+) -> tuple[SpanRecord, SpanRecord]:
+    """A ``client_task`` root span plus its ``local_sgd`` child."""
+    pid, tid = os.getpid(), threading.get_ident() & 0xFFFF
+    task_id = new_span_id()
+    attrs = {"client": task.client_index, "round": task.round_index, **extra_attrs}
+    return (
+        SpanRecord(
+            name="client_task",
+            span_id=task_id,
+            start_s=wall_start,
+            duration_s=task_duration_s,
+            pid=pid,
+            tid=tid,
+            attrs=attrs,
+        ),
+        SpanRecord(
+            name="local_sgd",
+            span_id=new_span_id(),
+            parent_id=task_id,
+            start_s=sgd_wall_start,
+            duration_s=sgd_duration_s,
+            pid=pid,
+            tid=tid,
+            attrs={"client": task.client_index},
+        ),
+    )
 
 
 def execute_task(
@@ -95,12 +142,16 @@ def execute_task(
     isolate: bool = False,
 ) -> LocalUpdateOutcome:
     """Run one local update; with ``isolate`` the model template is copied."""
+    wall_start = time.time()
+    perf_start = time.perf_counter()
     if isolate:
         problem = LocalProblem(
             model=copy.deepcopy(problem.model),
             loss=problem.loss,
             dataset=problem.dataset,
         )
+    sgd_wall_start = time.time()
+    sgd_perf_start = time.perf_counter()
     message = algorithm.local_update(
         problem,
         task.client,
@@ -110,7 +161,17 @@ def execute_task(
         round_index=task.round_index,
         rng=as_rng(task.rng),
     )
-    return LocalUpdateOutcome(message=message, client=task.client)
+    if not task.trace:
+        return LocalUpdateOutcome(message=message, client=task.client)
+    sgd_duration = time.perf_counter() - sgd_perf_start
+    spans = _task_spans(
+        task,
+        wall_start,
+        time.perf_counter() - perf_start,
+        sgd_wall_start,
+        sgd_duration,
+    )
+    return LocalUpdateOutcome(message=message, client=task.client, spans=spans)
 
 
 # Worker-process globals, set once per worker by _init_worker so that the
@@ -199,7 +260,9 @@ class VectorizedExecutor(ClientExecutor):
     def prime(self, problems: list[LocalProblem], algorithm: Any) -> None:
         super().prime(problems, algorithm)
         from repro.nn.batched import build_batched_model
+        from repro.obs.runtime import get_obs
 
+        self._metrics = get_obs().metrics
         self._batched_model = None
         if not getattr(algorithm, "supports_batched", False):
             return
@@ -207,6 +270,10 @@ class VectorizedExecutor(ClientExecutor):
         if any(problem.dataset.features.ndim != 2 for problem in problems):
             return  # stacked kernels take flat (n, d) features only
         self._batched_model = build_batched_model(template.model, template.loss)
+        if self._batched_model is not None:
+            # Per-kernel profiling: the batched model times each stacked
+            # op's forward/backward when a profiler is active.
+            self._batched_model.profiler = get_obs().profiler
 
     @property
     def vectorizes(self) -> bool:
@@ -245,6 +312,8 @@ class VectorizedExecutor(ClientExecutor):
         if self._batched_model is None:
             # Opt-out algorithm or unbatchable model: the serial loop,
             # bit for bit.
+            if self._metrics is not None and tasks:
+                self._metrics.counter("executor.fallback_tasks").inc(len(tasks))
             return [
                 execute_task(task, self._problems[task.client_index], self._algorithm)
                 for task in tasks
@@ -284,6 +353,8 @@ class VectorizedExecutor(ClientExecutor):
                 epoch_orders=orders,
             )
             lead = cohort_tasks[0]
+            cohort_wall = time.time()
+            cohort_perf = time.perf_counter()
             messages = self._algorithm.batched_local_update(
                 cohort,
                 [task.client for task in cohort_tasks],
@@ -292,11 +363,31 @@ class VectorizedExecutor(ClientExecutor):
                 lead.config,
                 round_index=lead.round_index,
             )
+            cohort_duration = time.perf_counter() - cohort_perf
+            if self._metrics is not None:
+                self._metrics.counter("executor.batched_tasks").inc(len(positions))
+                self._metrics.histogram("executor.cohort_size").observe(
+                    len(positions)
+                )
             for position, task, message in zip(
                 positions, cohort_tasks, messages
             ):
+                spans: tuple[SpanRecord, ...] = ()
+                if task.trace:
+                    # One client_task span per task sharing the cohort's
+                    # window: the stacked kernels ran every client jointly,
+                    # so per-client attribution is the cohort extent.
+                    spans = _task_spans(
+                        task,
+                        cohort_wall,
+                        cohort_duration,
+                        cohort_wall,
+                        cohort_duration,
+                        cohort=len(positions),
+                        batched=True,
+                    )
                 outcomes[position] = LocalUpdateOutcome(
-                    message=message, client=task.client
+                    message=message, client=task.client, spans=spans
                 )
         return outcomes
 

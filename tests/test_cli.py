@@ -257,3 +257,73 @@ class TestCliOrchestration:
         # code 2), not a traceback.
         assert main(self.TABLE4 + ["--jobs", "0"]) == 2
         assert "jobs must be positive" in capsys.readouterr().err
+
+
+class TestCliObservability:
+    TABLE4 = ["table4", "--dataset", "blobs", "--clients", "8", "--rounds", "2",
+              "--epochs", "1", "5"]
+
+    def test_trace_and_metrics_flags_write_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.json"
+        code = main(
+            self.TABLE4 + ["--trace", str(trace), "--metrics", str(metrics)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Wrote Chrome trace" in out and "Wrote metrics snapshot" in out
+
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+        names = {event["name"] for event in events}
+        assert {"run", "round", "client_task", "local_sgd"} <= names
+        # The span log sits next to the Chrome trace.
+        span_log = tmp_path / "run.trace.json.spans.jsonl"
+        assert span_log.exists()
+        assert len(span_log.read_text().splitlines()) == len(events)
+
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["rounds_completed"] >= 2
+        assert snapshot["counters"]["sweep.specs_done"] == 2
+
+    def test_progress_flag_streams_eta_lines(self, capsys):
+        assert main(self.TABLE4 + ["--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        # The first resolved spec carries an ETA for the one remaining.
+        assert "(eta " in out
+
+    def test_profile_subcommand_prints_hotspots(self, capsys):
+        code = main(
+            ["profile", "table4", "--dataset", "blobs", "--clients", "8",
+             "--rounds", "2", "--top", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hot spots for table4" in out
+        assert "pipeline.local_updates" in out
+
+    def test_profile_vectorized_includes_kernels(self, capsys):
+        code = main(
+            ["profile", "table4", "--dataset", "blobs", "--clients", "8",
+             "--rounds", "2", "--executor", "vectorized"]
+        )
+        assert code == 0
+        assert "kernel." in capsys.readouterr().out
+
+    def test_runs_show_prints_duration_and_wire_totals(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(self.TABLE4 + ["--store-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--store-dir", store_dir]) == 0
+        key = next(
+            line.split("|")[0].strip()
+            for line in capsys.readouterr().out.splitlines()
+            if "table4" in line
+        )
+        assert main(["runs", "show", key, "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "status: done (as of" in out
+        assert "run duration:" in out
+        assert "upload_wire_bytes:" in out

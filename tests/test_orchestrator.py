@@ -92,6 +92,53 @@ class TestSerialExecution:
         done = [e for e in events if e.event == "done"]
         assert all(e.elapsed_s is not None and e.elapsed_s >= 0 for e in done)
 
+    def test_done_events_carry_a_shrinking_eta(self):
+        events = []
+        SweepOrchestrator(progress=events.append).execute(tiny_specs())
+        etas = [e.eta_s for e in events if e.event == "done"]
+        # Every resolved spec except the last estimates the remainder; the
+        # final one has nothing outstanding.
+        assert all(eta is not None and eta >= 0 for eta in etas[:-1])
+        assert etas[-1] is None
+
+    def test_parallel_eta_scales_by_jobs(self):
+        events = []
+        SweepOrchestrator(jobs=3, progress=events.append).execute(tiny_specs())
+        etas = [e.eta_s for e in events if e.event in ("done", "failed")]
+        assert etas[-1] is None
+        assert all(eta is not None for eta in etas[:-1])
+
+    def test_sweep_metrics_counters(self, tmp_path):
+        from repro.obs import MetricsRegistry, observe
+
+        store = ExperimentStore(tmp_path / "store")
+        metrics = MetricsRegistry()
+        with observe(metrics=metrics):
+            SweepOrchestrator(store=store).execute(tiny_specs())
+        assert metrics.snapshot()["counters"]["sweep.specs_done"] == len(ALGORITHMS)
+        with observe(metrics=metrics):
+            SweepOrchestrator(store=store, resume=True).execute(tiny_specs())
+        assert metrics.snapshot()["counters"]["sweep.store_hits"] == len(ALGORITHMS)
+
+    def test_serial_sweep_spans_nest_runs_under_specs(self):
+        from repro.obs import Tracer, observe
+        from repro.obs.trace import span_tree
+
+        tracer = Tracer()
+        with observe(tracer=tracer):
+            SweepOrchestrator().execute(tiny_specs())
+        records = tracer.sorted_records()
+        spans = {r.span_id: r for r in records}
+        spec_spans = [r for r in records if r.name == "spec"]
+        assert len(spec_spans) == len(ALGORITHMS)
+        run_spans = [r for r in records if r.name == "run"]
+        assert len(run_spans) == len(ALGORITHMS)
+        for run in run_spans:
+            assert spans[run.parent_id].name == "spec"
+        tree = span_tree(records)
+        for spec in spec_spans:
+            assert [r.name for r in tree[spec.span_id]] == ["run"]
+
 
 class TestParallelExecution:
     def test_parallel_bit_identical_to_serial(self):

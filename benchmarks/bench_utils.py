@@ -120,6 +120,7 @@ def compare_to_baseline(
     results_dir: Path = RESULTS_DIR,
     baselines_dir: Path = BASELINES_DIR,
     tolerance: float = DEFAULT_TOLERANCE,
+    only: list[str] | None = None,
 ) -> list[str]:
     """Compare fresh ``BENCH_*.json`` summaries against committed baselines.
 
@@ -143,6 +144,18 @@ def compare_to_baseline(
     """
     failures: list[str] = []
     baselines = sorted(baselines_dir.glob("BENCH_*.json"))
+    if only is not None:
+        # A CI job that only ran a subset of the benchmarks gates only
+        # those files; a name with no committed baseline is a config
+        # error, not a silent no-op.
+        wanted = set(only)
+        missing = wanted - {path.name for path in baselines}
+        if missing:
+            return [
+                f"--only names without a committed baseline: "
+                f"{', '.join(sorted(missing))}"
+            ]
+        baselines = [path for path in baselines if path.name in wanted]
     if not baselines:
         return [f"no baselines found under {baselines_dir}"]
     for baseline_path in baselines:

@@ -37,11 +37,18 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="relative regression allowed per metric (default: 0.20)",
     )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="BENCH_name.json",
+        help="gate only the named baseline file(s); repeatable.  Used by "
+             "CI jobs that run a subset of the benchmarks (e.g. "
+             "scale-smoke runs only BENCH_scale.json).",
+    )
     args = parser.parse_args(argv)
     failures = compare_to_baseline(
         results_dir=args.results_dir,
         baselines_dir=args.baselines_dir,
         tolerance=args.tolerance,
+        only=args.only,
     )
     if failures:
         print("benchmark regression gate FAILED:")

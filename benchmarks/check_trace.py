@@ -13,9 +13,10 @@ Checks, in order:
 * span identity: every ``args.span_id`` is unique and every non-null
   ``args.parent_id`` resolves to another span in the same trace;
 * the span tree matches the runtime's instrumentation contract —
-  ``client_task`` spans hang off ``round`` spans, ``local_sgd`` off
-  ``client_task``, ``compress``/``aggregate`` off ``round``, and ``round``
-  off the top-level ``run`` span;
+  ``client_task`` spans hang off ``round`` spans (or the ``shard`` spans
+  the hierarchical plan nests inside each round), ``local_sgd`` off
+  ``client_task``, ``compress``/``aggregate`` off ``round``/``shard``,
+  and ``round`` off the top-level ``run`` span;
 * (optional second argument) the JSON-lines span log names the same span
   ids as the Chrome trace and is sorted by ``(virtual time, seq)``, the
   tracer's total order.
@@ -30,14 +31,16 @@ import json
 import sys
 from pathlib import Path
 
-#: parent span name required for each child span name (the runtime's
-#: round -> client_task -> local_sgd nesting contract).
+#: parent span names allowed for each child span name (the runtime's
+#: round -> client_task -> local_sgd nesting contract; the hierarchical
+#: plan inserts a shard tier between round and the per-client work).
 EXPECTED_PARENT = {
-    "client_task": "round",
-    "local_sgd": "client_task",
-    "compress": "round",
-    "aggregate": "round",
-    "round": "run",
+    "client_task": ("round", "shard"),
+    "local_sgd": ("client_task",),
+    "compress": ("round", "shard"),
+    "aggregate": ("round",),
+    "shard": ("round",),
+    "round": ("run",),
 }
 
 REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid", "args")
@@ -96,7 +99,7 @@ def check_chrome_trace(path: Path) -> tuple[list[str], dict[str, dict]]:
             if name in EXPECTED_PARENT:
                 failures.append(
                     f"{path}: {name} span {span_id} is a root; expected a "
-                    f"{EXPECTED_PARENT[name]} parent"
+                    f"{' or '.join(EXPECTED_PARENT[name])} parent"
                 )
             continue
         parent = spans.get(parent_id)
@@ -107,10 +110,11 @@ def check_chrome_trace(path: Path) -> tuple[list[str], dict[str, dict]]:
             )
             continue
         expected = EXPECTED_PARENT.get(name)
-        if expected is not None and parent["name"] != expected:
+        if expected is not None and parent["name"] not in expected:
             failures.append(
                 f"{path}: {name} span {span_id} nests under "
-                f"{parent['name']!r}, expected {expected!r}"
+                f"{parent['name']!r}, expected "
+                f"{' or '.join(repr(e) for e in expected)}"
             )
 
     names = [event["name"] for event in spans.values()]

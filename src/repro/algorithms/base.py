@@ -58,6 +58,84 @@ class LocalTrainingConfig:
             )
 
 
+class UpdateAccumulator:
+    """Streaming alternative to :meth:`FederatedAlgorithm.aggregate`.
+
+    An accumulator folds client messages into a running partial one at a
+    time (``accumulate``), combines partials produced by different shards
+    (``merge``), and produces the next global model (``finalise``).  The
+    hierarchical execution plan feeds each edge aggregator's survivors
+    through its own accumulator and merges the per-shard partials at the
+    root, so no tier ever holds a full cohort's message list.
+
+    ``count`` is the number of messages folded in so far (merges
+    included); callers skip ``finalise`` when it is zero (an abandoned
+    round leaves the global model unchanged).
+    """
+
+    def __init__(self, num_clients: int, round_index: int):
+        self.num_clients = num_clients
+        self.round_index = round_index
+        self.count = 0
+
+    def accumulate(self, message: ClientMessage) -> None:
+        """Fold one client message into the running partial."""
+        raise NotImplementedError
+
+    def merge(self, other: "UpdateAccumulator") -> None:
+        """Fold another accumulator's partial into this one."""
+        raise NotImplementedError
+
+    def finalise(self) -> np.ndarray:
+        """Produce the next global parameter vector from the partial."""
+        raise NotImplementedError
+
+
+class BufferedAccumulator(UpdateAccumulator):
+    """Fallback accumulator: collect messages, delegate to ``aggregate``.
+
+    Implemented once here so *every* algorithm gains the streaming call
+    surface, but this fallback is **not** constant-memory — it holds every
+    accumulated message until ``finalise``.  Algorithms with genuinely
+    associative aggregation rules (FedAvg's running average, FedADMM's
+    delta sum) override :meth:`FederatedAlgorithm.make_accumulator` with a
+    true constant-memory reduction.
+    """
+
+    def __init__(
+        self,
+        algorithm: "FederatedAlgorithm",
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        num_clients: int,
+        round_index: int,
+    ):
+        super().__init__(num_clients, round_index)
+        self.algorithm = algorithm
+        self.global_params = global_params
+        self.server_state = server_state
+        self.messages: list[ClientMessage] = []
+
+    def accumulate(self, message: ClientMessage) -> None:
+        self.messages.append(message)
+        self.count += 1
+
+    def merge(self, other: "BufferedAccumulator") -> None:
+        self.messages.extend(other.messages)
+        self.count += other.count
+
+    def finalise(self) -> np.ndarray:
+        if not self.messages:
+            raise ConfigurationError("finalise requires at least one message")
+        return self.algorithm.aggregate(
+            self.global_params,
+            self.server_state,
+            self.messages,
+            self.num_clients,
+            self.round_index,
+        )
+
+
 class FederatedAlgorithm:
     """Base class for federated optimisation algorithms."""
 
@@ -141,6 +219,26 @@ class FederatedAlgorithm:
     ) -> np.ndarray:
         """Combine client messages into the next global model."""
         raise NotImplementedError
+
+    def make_accumulator(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        num_clients: int,
+        round_index: int,
+    ) -> UpdateAccumulator:
+        """Create a fresh per-round streaming accumulator.
+
+        The default buffers messages and delegates to :meth:`aggregate`,
+        which is correct for every algorithm but not constant-memory;
+        algorithms whose aggregation rule is an associative reduction
+        (FedAvg, FedADMM) override this with one that keeps only a running
+        sum.  The hierarchical plan creates one accumulator per shard plus
+        one at the root and merges shard partials upward.
+        """
+        return BufferedAccumulator(
+            self, global_params, server_state, num_clients, round_index
+        )
 
     # ------------------------------------------------------------------ #
     # Vectorized cohort execution (see repro.systems.executor)

@@ -23,7 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import FederatedAlgorithm, LocalTrainingConfig
+from repro.algorithms.base import (
+    FederatedAlgorithm,
+    LocalTrainingConfig,
+    UpdateAccumulator,
+)
 from repro.core.admm_client import admm_client_update
 from repro.core.admm_server import admm_server_update
 from repro.core.rho import ConstantRho, RhoSchedule
@@ -62,6 +66,58 @@ def _coerce_step_size(step) -> ServerStepSize:
         f"server_step_size must be a number, 'participation', or ServerStepSize, "
         f"got {type(step)}"
     )
+
+
+class DeltaSumAccumulator(UpdateAccumulator):
+    """Constant-memory FedADMM reduction: a running Σ Δ_i.
+
+    The tracking update θ + (η/|S_t|) Σ Δ_i of eq. (5) is an associative
+    reduction over the deltas, so the accumulator keeps one running sum and
+    a count; NumPy's axis-0 reductions accumulate rows sequentially, making
+    ``finalise`` bit-identical to
+    :func:`repro.core.admm_server.admm_server_update` on the full list.
+    η is resolved at ``finalise`` from the *total* count, so shard merging
+    cannot perturb participation-scaled step sizes.
+    """
+
+    def __init__(
+        self,
+        algorithm: "FedADMM",
+        global_params: np.ndarray,
+        num_clients: int,
+        round_index: int,
+    ):
+        super().__init__(num_clients, round_index)
+        self.algorithm = algorithm
+        self.global_params = global_params
+        self.total: np.ndarray | None = None
+
+    def accumulate(self, message: ClientMessage) -> None:
+        delta = message.payload["delta"]
+        if self.total is None:
+            self.total = np.array(delta, dtype=np.float64, copy=True)
+        else:
+            self.total += delta
+        self.count += 1
+
+    def merge(self, other: "DeltaSumAccumulator") -> None:
+        if other.count == 0:
+            return
+        if self.total is None:
+            self.total = other.total
+        else:
+            self.total += other.total
+        self.count += other.count
+
+    def finalise(self) -> np.ndarray:
+        if self.count == 0 or self.total is None:
+            raise ConfigurationError("FedADMM accumulator has no messages")
+        eta = self.algorithm.step_size_policy.value(
+            self.round_index, self.count, self.num_clients
+        )
+        if eta <= 0:
+            raise ConfigurationError(f"server step size must be positive, got {eta}")
+        return self.global_params + (eta / self.count) * self.total
 
 
 class FedADMM(FederatedAlgorithm):
@@ -200,6 +256,15 @@ class FedADMM(FederatedAlgorithm):
         eta = self.step_size_policy.value(round_index, len(messages), num_clients)
         deltas = [msg.payload["delta"] for msg in messages]
         return admm_server_update(global_params, deltas, eta)
+
+    def make_accumulator(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        num_clients: int,
+        round_index: int,
+    ) -> DeltaSumAccumulator:
+        return DeltaSumAccumulator(self, global_params, num_clients, round_index)
 
     def aggregate_async(
         self,

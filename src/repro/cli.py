@@ -91,6 +91,14 @@ def _shared_flags() -> argparse.ArgumentParser:
                            "deadline-bounded semisync, or event-driven async")
     plan.add_argument("--async", dest="async_mode", action="store_true",
                       help="shorthand for --mode async")
+    plan.add_argument("--plan", default=None, dest="plan",
+                      choices=["flat", "hierarchical"],
+                      help="sync-round topology: flat single server, or "
+                           "hierarchical sharded edge aggregators with "
+                           "streaming constant-memory aggregation")
+    plan.add_argument("--shards", type=int, default=None, dest="num_shards",
+                      help="hierarchical: number of edge aggregator shards "
+                           "the population is split across (default 1)")
     plan.add_argument("--buffer-size", type=int, default=None,
                       help="async: updates aggregated per model version "
                            "(default: the sync per-round cohort size)")

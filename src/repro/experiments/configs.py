@@ -82,6 +82,13 @@ class ExperimentConfig:
     # simulated seconds (None derives it from the network model's median
     # predicted client duration).
     round_deadline_s: float | None = None
+    # Topology of the synchronous round: "flat" is the single-server
+    # SyncPlan, "hierarchical" shards the population across num_shards
+    # edge aggregators with streaming constant-memory aggregation
+    # (repro.federated.plans.HierarchicalPlan).  Only meaningful with
+    # mode="sync"; a 1-shard hierarchy is bit-identical to flat.
+    plan: str = "flat"
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         # Normalise the two plan spellings: async_mode=True is shorthand for
@@ -116,6 +123,22 @@ class ExperimentConfig:
             raise ConfigurationError("max_concurrency must be positive")
         if self.staleness_exponent < 0:
             raise ConfigurationError("staleness_exponent must be non-negative")
+        if self.plan not in ("flat", "hierarchical"):
+            raise ConfigurationError(
+                f"plan must be 'flat' or 'hierarchical', got {self.plan!r}"
+            )
+        if self.num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if self.num_shards > self.num_clients:
+            raise ConfigurationError(
+                f"num_shards {self.num_shards} exceeds num_clients "
+                f"{self.num_clients}"
+            )
+        if self.plan == "hierarchical" and self.mode != "sync":
+            raise ConfigurationError(
+                "the hierarchical plan is a sharded synchronous round; "
+                f"it cannot be combined with mode={self.mode!r}"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced.

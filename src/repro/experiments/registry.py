@@ -49,6 +49,8 @@ OVERRIDE_FIELDS = (
     "network",
     "executor",
     "mode",
+    "plan",
+    "num_shards",
     "buffer_size",
     "max_concurrency",
     "staleness",
@@ -86,6 +88,9 @@ class StudyRequest:
         }
         if getattr(args, "async_mode", False) and "mode" not in overrides:
             overrides["mode"] = "async"
+        if "num_shards" in overrides and "plan" not in overrides:
+            # --shards N alone means the sharded synchronous topology.
+            overrides["plan"] = "hierarchical"
         return cls(
             dataset=getattr(args, "dataset", cls.dataset),
             non_iid=getattr(args, "non_iid", cls.non_iid),
@@ -207,6 +212,19 @@ class Study:
                 f"supported modes: "
                 f"{', '.join(self.modes) or 'none (closed form, no training)'}"
             )
+        requested_plan = request.overrides.get("plan")
+        if requested_plan == "hierarchical":
+            # The hierarchical plan is a sharded *synchronous* round: the
+            # study must run lock-step rounds, and must not also ask for a
+            # buffered mode.
+            if "sync" not in self.modes or requested_mode in (
+                "semisync",
+                "async",
+            ):
+                raise ConfigurationError(
+                    f"study {self.name!r} cannot run --plan hierarchical: "
+                    "it requires synchronous lock-step rounds"
+                )
         requested_executor = request.overrides.get("executor")
         if requested_executor is not None and requested_executor not in self.executors:
             raise ConfigurationError(

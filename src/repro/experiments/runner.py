@@ -37,7 +37,7 @@ from repro.federated.async_engine import AsyncFederatedSimulation
 from repro.federated.client import ClientState, build_clients
 from repro.federated.engine import FederatedSimulation, SimulationResult
 from repro.federated.heterogeneity import FixedEpochs, UniformRandomEpochs
-from repro.federated.plans import SemiSyncPlan
+from repro.federated.plans import HierarchicalPlan, SemiSyncPlan
 from repro.federated.sampler import UniformFractionSampler
 from repro.metrics.rounds_to_target import format_rounds, rounds_to_target
 from repro.metrics.speedup import reduction_vs_best_baseline, speedup_vs_reference
@@ -160,6 +160,10 @@ def build_simulation(
                 staleness_exponent=config.staleness_exponent,
             ),
             **common,
+        )
+    if config.plan == "hierarchical":
+        return FederatedSimulation(
+            plan=HierarchicalPlan(num_shards=config.num_shards), **common
         )
     return FederatedSimulation(**common)
 

@@ -44,7 +44,7 @@ from repro.exceptions import ConfigurationError
 from repro.federated.evaluation import Evaluation
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.messages import CommunicationLedger
-from repro.utils.serialization import to_jsonable
+from repro.utils.serialization import dumps_strict, to_jsonable
 from repro.version import __version__
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -87,7 +87,7 @@ class RunRecord:
         payload = asdict(self)
         payload["status"] = self.status.value
         payload["spec_key"] = list(self.spec_key)
-        return json.dumps(to_jsonable(payload), sort_keys=True) + "\n"
+        return dumps_strict(payload, sort_keys=True) + "\n"
 
     @classmethod
     def from_payload(cls, payload: dict) -> "RunRecord":
@@ -340,7 +340,7 @@ class ExperimentStore:
         key = self.key_for(spec)
         payload = result_to_payload(result)
         _atomic_write_text(
-            self._result_path(key), json.dumps(payload, sort_keys=True)
+            self._result_path(key), dumps_strict(payload, sort_keys=True)
         )
         return self.mark(spec, RunStatus.DONE, duration_s=duration_s)
 

@@ -163,7 +163,11 @@ def run_scale_sweep(
     """Figs. 3-4: repeat the comparison at several client populations.
 
     Hyperparameters stay fixed across populations, exactly as in the paper's
-    protocol (tuned once at the smallest population, then reused).
+    protocol (tuned once at the smallest population, then reused).  Large
+    populations can be swept under the sharded synchronous topology by
+    passing configs with ``plan="hierarchical"`` (CLI:
+    ``--plan hierarchical --shards N``); a 1-shard hierarchy is
+    bit-identical to the flat rounds used here.
     """
     sweeps: dict[int, ComparisonResult] = {}
     for population in populations:

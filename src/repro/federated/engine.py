@@ -24,7 +24,7 @@ reproduction (pinned by ``tests/test_regression_sync_golden.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -86,7 +86,7 @@ class FederatedSimulation:
         self,
         algorithm: FederatedAlgorithm,
         model: Module,
-        clients: list[ClientState],
+        clients: Sequence[ClientState],
         test_dataset: Dataset,
         loss: Loss | None = None,
         sampler: ClientSampler | None = None,

@@ -5,11 +5,17 @@ the client-side mechanics (seeding, local updates, codec/network/fault
 application, ledger accounting) are delegated to the shared
 :class:`~repro.federated.rounds.ClientWorkPipeline`, and all mutable
 server state lives in an explicit
-:class:`~repro.federated.state.ServerState`.  Three strategies ship:
+:class:`~repro.federated.state.ServerState`.  Four strategies ship:
 
 * :class:`SyncPlan` — the paper's lock-step round (Fig. 1 / Algorithm 1):
   every selected client must report back (or be dropped) before the
   server aggregates, so one straggler stalls the whole round.
+* :class:`HierarchicalPlan` — the same lock-step semantics run over a
+  sharded population (clients → edge aggregators → root): each shard
+  streams its survivors through a constant-memory
+  :class:`~repro.algorithms.base.UpdateAccumulator` and the root merges
+  one pre-reduced partial per shard, so peak memory scales with the shard
+  count, not the population.
 * :class:`SemiSyncPlan` — deadline-bounded rounds: the server dispatches
   a cohort, aggregates whatever has arrived by the round deadline, and
   lets stragglers deliver into *later* rounds as stale updates weighted
@@ -26,16 +32,27 @@ no copied pipeline code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+try:  # POSIX-only; the RSS gauge degrades gracefully elsewhere
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.federated.history import RoundRecord
 from repro.federated.messages import BYTES_PER_FLOAT, ClientMessage
 from repro.federated.rounds import ClientWork, finalise_round
 from repro.federated.scheduler import AsyncScheduler
+from repro.federated.sharding import (
+    Shard,
+    ShardSampler,
+    shard_label,
+    shard_population,
+)
 from repro.federated.staleness import (
     StalenessWeighting,
     StaleUpdate,
@@ -187,6 +204,230 @@ class SyncPlan(ExecutionPlan):
             simulated_seconds=ctx.round_seconds,
             dropped=ctx.dropped,
         )
+
+
+# --------------------------------------------------------------------------- #
+# Hierarchical lock-step: clients → edge aggregators → root server
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ShardStats:
+    """Per-shard round accounting folded into the root's RoundRecord."""
+
+    num_selected: int = 0
+    uploads: int = 0
+    upload_wire_bytes: int = 0
+    train_losses: list[float] = field(default_factory=list)
+    epochs_used: list[int] = field(default_factory=list)
+    dropped: list[int] = field(default_factory=list)
+    round_seconds: float = 0.0
+
+
+class HierarchicalPlan(ExecutionPlan):
+    """Lock-step rounds over a sharded population with streaming aggregation.
+
+    The population is split into ``num_shards`` contiguous shards, each
+    owned by a simulated edge aggregator.  Every round, each shard samples
+    its own cohort (its own RNG streams, labelled via
+    :func:`~repro.federated.sharding.shard_label`), runs the survivors one
+    at a time through the shared pipeline, and folds each upload straight
+    into a per-shard :class:`~repro.algorithms.base.UpdateAccumulator` —
+    so a shard holds at most one in-flight :class:`ClientMessage`, and the
+    root only ever merges one pre-reduced partial per shard before
+    finalising the new global model.
+
+    With ``num_shards=1`` the plan reuses the engine's flat RNG streams
+    and visits clients in exactly the order :class:`SyncPlan` would, so a
+    single-shard hierarchy is bit-identical to the flat plan (pinned by
+    the parity tests).  Edge aggregators are simulated as running in
+    parallel: the round's simulated duration is the slowest shard's.
+    """
+
+    name = "hierarchical"
+
+    def __init__(self, num_shards: int = 1, shard_samplers=None):
+        if num_shards <= 0:
+            raise ConfigurationError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        if shard_samplers is not None and len(shard_samplers) != num_shards:
+            raise ConfigurationError(
+                f"got {len(shard_samplers)} shard samplers for "
+                f"{num_shards} shards"
+            )
+        self.num_shards = int(num_shards)
+        self._explicit_samplers = (
+            list(shard_samplers) if shard_samplers is not None else None
+        )
+        self.shards: list[Shard] = []
+        self._shard_samplers: list[ShardSampler] = []
+        self._sampling_rngs: list = []
+        self._work_rngs: list = []
+
+    def bind(self, engine: FederatedSimulation) -> None:
+        num_clients = len(engine.clients)
+        if self.num_shards > num_clients:
+            raise ConfigurationError(
+                f"num_shards {self.num_shards} exceeds the population of "
+                f"{num_clients} clients"
+            )
+        self.shards = shard_population(num_clients, self.num_shards)
+        bases = self._explicit_samplers or [engine.sampler] * self.num_shards
+        self._shard_samplers = [
+            ShardSampler(base, shard) for base, shard in zip(bases, self.shards)
+        ]
+        if self.num_shards == 1:
+            # Reuse the flat streams so the single shard consumes exactly
+            # the draws SyncPlan would — the 1-shard bit-identity contract.
+            self._sampling_rngs = [engine._sampling_rng]
+            self._work_rngs = [engine._work_rng]
+        else:
+            factory = engine._rng_factory
+            self._sampling_rngs = [
+                factory.make(
+                    shard_label("client-sampling", shard.index, self.num_shards)
+                )
+                for shard in self.shards
+            ]
+            self._work_rngs = [
+                factory.make(
+                    shard_label("local-work", shard.index, self.num_shards)
+                )
+                for shard in self.shards
+            ]
+
+    def _run_shard(
+        self,
+        engine: FederatedSimulation,
+        shard: Shard,
+        sampler: ShardSampler,
+        sampling_rng,
+        work_rng,
+        round_index: int,
+    ):
+        """One edge aggregator's round: sample, stream survivors, reduce."""
+        state, pipeline = engine.state, engine.pipeline
+        selected = sampler.sample(round_index, sampling_rng)
+        if selected.size == 0:
+            raise SimulationError(
+                f"round {round_index}: shard {shard.index} sampled no clients"
+            )
+        epochs_by_client = {
+            int(client_id): engine.local_work.epochs(
+                int(client_id), round_index, work_rng
+            )
+            for client_id in selected
+        }
+        ctx = pipeline.simulate_systems(round_index, selected, epochs_by_client)
+
+        partial = engine.algorithm.make_accumulator(
+            state.params, state.algorithm_state, len(engine.clients), round_index
+        )
+        stats = _ShardStats(
+            num_selected=ctx.num_selected,
+            dropped=list(ctx.dropped),
+            round_seconds=ctx.round_seconds,
+        )
+        for client_index in ctx.survivors:
+            rng = (
+                pipeline.seed_from_label(
+                    f"local-training/round-{round_index}/client-{client_index}"
+                )
+                if pipeline.executor.isolated
+                else pipeline.training_rng
+            )
+            work = ClientWork(
+                client_index=client_index,
+                epochs=epochs_by_client[client_index],
+                round_index=round_index,
+                rng=rng,
+            )
+            # One client at a time: the raw message is folded into the
+            # shard accumulator and released before the next client runs.
+            outcome = pipeline.local_updates(
+                state.params, state.algorithm_state, [work]
+            )[0]
+            message = outcome.message
+            stats.uploads += message.upload_floats
+            stats.epochs_used.append(message.local_epochs)
+            compressed, wire_bytes = pipeline.compress([message])
+            stats.upload_wire_bytes += wire_bytes
+            message = compressed[0]
+            stats.train_losses.append(message.train_loss)
+            partial.accumulate(message)
+        return partial, stats
+
+    def run_round(self, engine: FederatedSimulation) -> RoundRecord:
+        state, pipeline = engine.state, engine.pipeline
+        round_index = state.rounds_run
+        num_clients = len(engine.clients)
+        dim = state.params.size
+
+        root = engine.algorithm.make_accumulator(
+            state.params, state.algorithm_state, num_clients, round_index
+        )
+        totals = _ShardStats()
+        for shard, sampler, sampling_rng, work_rng in zip(
+            self.shards, self._shard_samplers, self._sampling_rngs,
+            self._work_rngs,
+        ):
+            with engine.tracer.span(
+                "shard", shard=shard.index, clients=shard.size
+            ):
+                partial, stats = self._run_shard(
+                    engine, shard, sampler, sampling_rng, work_rng, round_index
+                )
+            root.merge(partial)
+            totals.num_selected += stats.num_selected
+            totals.uploads += stats.uploads
+            totals.upload_wire_bytes += stats.upload_wire_bytes
+            totals.train_losses.extend(stats.train_losses)
+            totals.epochs_used.extend(stats.epochs_used)
+            totals.dropped.extend(stats.dropped)
+            # Edge aggregators work concurrently; the round closes when
+            # the slowest shard reports its partial.
+            totals.round_seconds = max(totals.round_seconds, stats.round_seconds)
+
+        # Every selected client downloaded the model, including those that
+        # later crashed or straggled; only survivors upload.
+        downloads = totals.num_selected * engine.algorithm.download_floats(dim)
+
+        if root.count:
+            with engine.tracer.span("aggregate", updates=root.count):
+                state.params = root.finalise()
+        # With no survivor anywhere the round is abandoned: the global
+        # model is unchanged, but the costs were still paid.
+
+        state.rounds_run += 1
+        state.model_version = state.rounds_run
+        metrics = pipeline.metrics
+        if metrics is not None and resource is not None:
+            # ru_maxrss is KiB on Linux; the gauge tracks its own max, so
+            # repeated sets record the run's high-water mark.
+            metrics.gauge("scale.peak_rss_bytes").set(
+                float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+                * 1024.0
+            )
+        evaluation = engine._maybe_evaluate()
+        return finalise_round(
+            engine,
+            evaluation=evaluation,
+            train_losses=totals.train_losses,
+            num_selected=totals.num_selected,
+            uploads=totals.uploads,
+            downloads=downloads,
+            upload_wire_bytes=totals.upload_wire_bytes,
+            download_wire_bytes=downloads * BYTES_PER_FLOAT,
+            epochs_used=totals.epochs_used,
+            simulated_seconds=totals.round_seconds,
+            dropped=totals.dropped,
+        )
+
+    def extra_metadata(self, engine: FederatedSimulation) -> dict:
+        return {
+            "plan": "hierarchical",
+            "num_shards": self.num_shards,
+            "shard_sizes": [shard.size for shard in self.shards],
+        }
 
 
 # --------------------------------------------------------------------------- #
@@ -686,6 +927,7 @@ class AsyncPlan(ExecutionPlan):
 
 PLAN_REGISTRY: dict[str, type[ExecutionPlan]] = {
     SyncPlan.name: SyncPlan,
+    HierarchicalPlan.name: HierarchicalPlan,
     SemiSyncPlan.name: SemiSyncPlan,
     AsyncPlan.name: AsyncPlan,
 }

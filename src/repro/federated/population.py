@@ -1,0 +1,105 @@
+"""Virtual client populations: millions of clients without materialising them.
+
+The engine and pipeline only ever need ``len(clients)``, random access by
+index, and stable object identity per index (worker copies are folded back
+into the population via ``merge_client``).  :class:`ClientPopulation`
+provides exactly that over a small set of *template* datasets: client ``i``
+reads template ``i % len(templates)``, and its :class:`ClientState` is
+created on first touch and cached, so memory grows with the number of
+clients actually sampled — not with the population.
+
+:class:`LazyProblems` is the matching view for the pipeline's per-client
+:class:`~repro.federated.local_problem.LocalProblem` list: problems are
+built on demand from the population, so priming an executor with a
+million-client population ships a handful of references, not a
+million-element list.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ConfigurationError
+from repro.federated.client import ClientState
+from repro.federated.local_problem import LocalProblem
+from repro.nn.losses import Loss
+from repro.nn.module import Module
+
+
+class ClientPopulation(Sequence):
+    """A lazily materialised population of ``num_clients`` clients.
+
+    ``__getitem__`` returns the *same* cached :class:`ClientState` for a
+    given index on every call, which is what lets the pipeline's
+    ``merge_client`` fold worker copies back into persistent per-client
+    state exactly as with an eager list.
+    """
+
+    def __init__(self, num_clients: int, templates: Sequence[Dataset]):
+        if num_clients <= 0:
+            raise ConfigurationError(
+                f"num_clients must be positive, got {num_clients}"
+            )
+        if not templates:
+            raise ConfigurationError(
+                "ClientPopulation needs at least one template dataset"
+            )
+        for index, template in enumerate(templates):
+            if len(template) == 0:
+                raise ConfigurationError(f"template dataset {index} is empty")
+        self.num_clients = num_clients
+        self.templates = list(templates)
+        self._cache: dict[int, ClientState] = {}
+
+    def __len__(self) -> int:
+        return self.num_clients
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.num_clients))]
+        if index < 0:
+            index += self.num_clients
+        if not 0 <= index < self.num_clients:
+            raise IndexError(index)
+        client = self._cache.get(index)
+        if client is None:
+            client = ClientState(
+                client_id=index,
+                dataset=self.templates[index % len(self.templates)],
+            )
+            self._cache[index] = client
+        return client
+
+    @property
+    def materialised(self) -> int:
+        """How many clients have actually been touched (memory footprint)."""
+        return len(self._cache)
+
+
+class LazyProblems(Sequence):
+    """Per-client :class:`LocalProblem` views built on demand.
+
+    Mirrors the eager ``[LocalProblem(...) for client in clients]`` list
+    the pipeline builds for list populations, but constructs each problem
+    only when an executor indexes it.  Problems are tiny (three references)
+    and are not cached: the datasets they bind come from the population's
+    cache, so repeated access is cheap and identity-stable where it
+    matters (the dataset, not the wrapper).
+    """
+
+    def __init__(self, model: Module, loss: Loss, clients: Sequence[ClientState]):
+        self.model = model
+        self.loss = loss
+        self.clients = clients
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self.clients)))]
+        client = self.clients[index]
+        return LocalProblem(
+            model=self.model, loss=self.loss, dataset=client.dataset
+        )

@@ -29,6 +29,7 @@ from repro.federated.evaluation import Evaluation
 from repro.federated.history import RoundRecord
 from repro.federated.local_problem import LocalProblem
 from repro.federated.messages import BYTES_PER_FLOAT, ClientMessage
+from repro.federated.population import LazyProblems
 from repro.federated.state import RoundContext
 from repro.nn.losses import Loss
 from repro.nn.module import Module
@@ -69,7 +70,7 @@ class ClientWorkPipeline:
         algorithm: FederatedAlgorithm,
         model: Module,
         loss: Loss,
-        clients: list[ClientState],
+        clients: Sequence[ClientState],
         executor: ClientExecutor,
         rng_factory: RngFactory,
         batch_size: int | None,
@@ -110,10 +111,16 @@ class ClientWorkPipeline:
                 len(clients), rng_factory.make("network")
             )
 
-        self.problems = [
-            LocalProblem(model=model, loss=loss, dataset=client.dataset)
-            for client in clients
-        ]
+        if isinstance(clients, list):
+            self.problems = [
+                LocalProblem(model=model, loss=loss, dataset=client.dataset)
+                for client in clients
+            ]
+        else:
+            # Virtual populations (repro.federated.population) stay lazy:
+            # problems are built per touched client, so a million-client
+            # simulation never materialises a million-element list.
+            self.problems = LazyProblems(model, loss, clients)
         # Ship the immutable per-client problems to the executor once; for
         # process pools this is what reaches the workers at creation, so the
         # per-round task payloads stay small.  Priming runs under this

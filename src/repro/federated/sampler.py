@@ -10,6 +10,7 @@ express explicitly.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -38,8 +39,13 @@ class UniformFractionSampler(ClientSampler):
         self.fraction = check_fraction(fraction, "fraction")
 
     def num_selected(self, num_clients: int) -> int:
-        """Number of clients selected per round, ``|S_t|``."""
-        return max(1, int(round(self.fraction * num_clients)))
+        """Number of clients selected per round, ``|S_t|``.
+
+        Explicit round-half-up: Python's ``round`` rounds half to even,
+        which would make the paper's C·m cohort size parity-dependent at
+        half boundaries (``fraction=0.25, m=10`` → 2 instead of 3).
+        """
+        return max(1, int(math.floor(self.fraction * num_clients + 0.5)))
 
     def sample(self, round_index: int, num_clients: int, rng: SeedLike = None) -> np.ndarray:
         rng = as_rng(rng)

@@ -20,13 +20,13 @@ on: instruments are touched per round / per task, never per mini-batch.
 
 from __future__ import annotations
 
-import json
 import math
 import threading
 from pathlib import Path
 from typing import Any
 
 from repro.exceptions import ConfigurationError
+from repro.utils.serialization import dumps_strict
 
 #: Default histogram bucket upper bounds (the last bucket is +inf).  Tuned
 #: for the quantities the runtime observes: staleness (small integers),
@@ -35,41 +35,55 @@ DEFAULT_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
 
 class Counter:
-    """Monotonically increasing total."""
+    """Monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    Mutation is lock-protected: instruments are shared across the thread
+    executor's workers, and an unsynchronised ``self.value += amount`` is
+    a read-modify-write that loses increments under contention.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (inc({amount}))"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that goes up and down (depths, sizes, in-flight counts)."""
 
-    __slots__ = ("name", "value", "max_value")
+    __slots__ = ("name", "value", "max_value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
         self.max_value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        self.max_value = max(self.max_value, self.value)
+        value = float(value)
+        with self._lock:
+            self.value = value
+            self.max_value = max(self.max_value, value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.set(self.value + amount)
+        with self._lock:
+            self.value += amount
+            self.max_value = max(self.max_value, self.value)
 
     def dec(self, amount: float = 1.0) -> None:
-        self.set(self.value - amount)
+        with self._lock:
+            self.value -= amount
+            self.max_value = max(self.max_value, self.value)
 
 
 class Histogram:
@@ -80,7 +94,9 @@ class Histogram:
     overflow bucket for everything larger.
     """
 
-    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "bounds", "buckets", "count", "total", "min", "max", "_lock",
+    )
 
     def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
         if list(bounds) != sorted(bounds):
@@ -94,18 +110,20 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.buckets[index] += 1
+                    return
+            self.buckets[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -212,7 +230,7 @@ class MetricsRegistry:
         """Persist ``snapshot()`` as JSON; returns the written path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        path.write_text(dumps_strict(self.snapshot(), indent=2, sort_keys=True) + "\n")
         return path
 
     def reset(self) -> None:

@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from repro.utils.serialization import dumps_strict
+
 #: Span attribute values must stay JSON-serialisable primitives so records
 #: pickle cheaply and export losslessly.
 AttrValue = Any
@@ -344,7 +346,7 @@ class Tracer:
         """Write the Chrome-trace JSON; returns the written path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.chrome_trace(), indent=1) + "\n")
+        path.write_text(dumps_strict(self.chrome_trace(), indent=1) + "\n")
         return path
 
     def write_span_log(self, path: str | Path) -> Path:
@@ -352,7 +354,7 @@ class Tracer:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         lines = [
-            json.dumps(record.to_payload(), sort_keys=True)
+            dumps_strict(record.to_payload(), sort_keys=True)
             for record in self.sorted_records()
         ]
         path.write_text("\n".join(lines) + ("\n" if lines else ""))

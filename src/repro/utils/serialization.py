@@ -1,9 +1,18 @@
-"""JSON-friendly serialization helpers for experiment results and configs."""
+"""JSON-friendly serialization helpers for experiment results and configs.
+
+Everything persisted by the repo goes through :func:`to_jsonable` /
+:func:`dumps_strict`, which map non-finite floats (NaN from abandoned
+rounds and empty evaluations, ±Inf) to ``null`` and serialize with
+``allow_nan=False``.  Python's ``json`` would otherwise emit the literal
+tokens ``NaN`` / ``Infinity``, which are not JSON: strict parsers
+(``jq``, ``JSON.parse``) reject the whole document.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -14,16 +23,20 @@ def to_jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into something ``json.dumps`` accepts.
 
     Handles numpy scalars and arrays, dataclasses, dictionaries, and
-    sequences.  Unknown objects are converted with ``str``.
+    sequences; non-finite floats become ``None``.  Unknown objects are
+    converted with ``str``.
     """
-    if obj is None or isinstance(obj, (bool, int, float, str)):
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, (np.integer,)):
         return int(obj)
     if isinstance(obj, (np.floating,)):
-        return float(obj)
+        value = float(obj)
+        return value if math.isfinite(value) else None
     if isinstance(obj, np.ndarray):
-        return obj.tolist()
+        return to_jsonable(obj.tolist())
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             field.name: to_jsonable(getattr(obj, field.name))
@@ -36,12 +49,23 @@ def to_jsonable(obj: Any) -> Any:
     return str(obj)
 
 
+def dumps_strict(obj: Any, **kwargs) -> str:
+    """``json.dumps`` producing standard JSON only.
+
+    ``obj`` is passed through :func:`to_jsonable` (non-finite floats →
+    ``null``) and serialized with ``allow_nan=False``, so a NaN that
+    slips past the sanitiser through a new code path raises instead of
+    silently emitting a non-JSON token.
+    """
+    return json.dumps(to_jsonable(obj), allow_nan=False, **kwargs)
+
+
 def save_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
     """Serialize ``obj`` to JSON at ``path`` (parent directories are created)."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("w", encoding="utf-8") as handle:
-        json.dump(to_jsonable(obj), handle, indent=indent)
+        handle.write(dumps_strict(obj, indent=indent))
     return target
 
 

@@ -113,6 +113,29 @@ class TestCompareToBaseline:
         write_result(results, **{"fedavg.speedup": 4.5})  # -10%
         assert compare_to_baseline(results, baselines, tolerance=0.05)
 
+    def test_only_restricts_the_gate_to_named_baselines(self, gate_dirs):
+        # The scale-smoke job runs a single benchmark: with --only, other
+        # baselines lacking fresh results must not fail the gate.
+        results, baselines = gate_dirs
+        (baselines / "BENCH_scale.json").write_text(
+            json.dumps({"bench": "scale", "points": [{"clients": 10_000}]})
+        )
+        (results / "BENCH_scale.json").write_text(
+            json.dumps({"bench": "scale", "points": [{"clients": 10_000}]})
+        )
+        # Full gate fails: no fresh vectorized_clients result.
+        assert compare_to_baseline(results, baselines) != []
+        assert compare_to_baseline(
+            results, baselines, only=["BENCH_scale.json"]
+        ) == []
+
+    def test_only_with_unknown_baseline_name_fails(self, gate_dirs):
+        results, baselines = gate_dirs
+        failures = compare_to_baseline(
+            results, baselines, only=["BENCH_typo.json"]
+        )
+        assert any("BENCH_typo.json" in line for line in failures)
+
 
 class TestMetricDirection:
     def test_directions(self):

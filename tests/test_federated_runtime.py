@@ -99,8 +99,9 @@ class TestSamplers:
             sampler = UniformFractionSampler(1e-6)
             assert sampler.num_selected(num_clients) == 1
             assert sampler.sample(0, num_clients, rng=0).size == 1
-        # Rounding (not truncation) governs the count above the floor.
-        assert UniformFractionSampler(0.25).num_selected(10) == 2  # round(2.5)
+        # Round-half-up (not truncation, not banker's rounding) governs
+        # the count above the floor: C·m = 2.5 means a 3-client cohort.
+        assert UniformFractionSampler(0.25).num_selected(10) == 3
         assert UniformFractionSampler(0.26).num_selected(10) == 3
         assert UniformFractionSampler(1.0).num_selected(7) == 7
 

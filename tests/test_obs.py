@@ -282,6 +282,52 @@ class TestMetrics:
             "counters": {}, "gauges": {}, "histograms": {},
         }
 
+    def test_counter_is_exact_under_contention(self):
+        # 8 threads x 10k increments: read-modify-write without the
+        # per-instrument lock loses updates; the total must be exact,
+        # not approximately right.
+        registry = MetricsRegistry()
+        counter = registry.counter("tasks_executed")
+        threads_n, incs = 8, 10_000
+        start = threading.Barrier(threads_n)
+
+        def hammer():
+            start.wait()
+            for _ in range(incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == float(threads_n * incs)
+
+    def test_gauge_and_histogram_consistent_under_contention(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        histogram = registry.histogram("staleness", bounds=(8.0,))
+        start = threading.Barrier(4)
+
+        def hammer():
+            start.wait()
+            for _ in range(5_000):
+                gauge.inc()
+                histogram.observe(1.0)
+                gauge.dec()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.value == 0.0
+        assert 1.0 <= gauge.max_value <= 4.0
+        summary = histogram.summary()
+        assert summary["count"] == 20_000
+        assert summary["sum"] == 20_000.0
+        assert summary["buckets"] == {"le_8": 20_000, "inf": 0}
+
 
 class TestProfiler:
     def test_time_accumulates_per_key(self):

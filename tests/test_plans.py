@@ -91,7 +91,7 @@ class TestRoundContext:
 
 class TestPlanRegistry:
     def test_all_plans_registered(self):
-        assert set(PLAN_REGISTRY) == {"sync", "semisync", "async"}
+        assert set(PLAN_REGISTRY) == {"sync", "hierarchical", "semisync", "async"}
         for plan_cls in PLAN_REGISTRY.values():
             assert issubclass(plan_cls, ExecutionPlan)
 

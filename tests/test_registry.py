@@ -170,7 +170,9 @@ class TestSupportedModesAndExecutors:
         from repro.federated.plans import PLAN_REGISTRY
         from repro.systems import EXECUTOR_REGISTRY
 
-        assert set(ALL_MODES) == set(PLAN_REGISTRY)
+        # The hierarchical plan is a topology variant of the synchronous
+        # round selected via --plan/--shards, not a --mode of its own.
+        assert set(ALL_MODES) | {"hierarchical"} == set(PLAN_REGISTRY)
         assert set(ALL_EXECUTORS) == set(EXECUTOR_REGISTRY)
 
     def test_every_study_surfaces_modes_and_executors(self):

@@ -1,0 +1,106 @@
+"""Cohort-size rounding and shard-sampling contracts.
+
+``UniformFractionSampler.num_selected`` must implement the paper's C·m
+cohort with explicit round-half-up: Python's builtin ``round`` rounds
+half to even, which silently made cohort sizes parity-dependent at half
+boundaries (0.25 × 10 → 2 instead of 3).  These tests pin the boundary
+grid, confirm the defaults used by the committed sync goldens are
+unaffected, and cover the shard-local sampling layer the hierarchical
+plan builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.federated.sampler import FixedScheduleSampler, UniformFractionSampler
+from repro.federated.sharding import (
+    Shard,
+    ShardSampler,
+    shard_label,
+    shard_population,
+)
+
+
+class TestUniformFractionRounding:
+    @pytest.mark.parametrize(
+        "fraction, num_clients, expected",
+        [
+            # Half boundaries: round-half-up, never half-to-even.
+            (0.25, 10, 3),   # 2.5 → 3 (builtin round gives 2)
+            (0.25, 2, 1),    # 0.5 → 1 (and the >=1 floor)
+            (0.75, 2, 2),    # 1.5 → 2 (both rules agree)
+            (0.25, 14, 4),   # 3.5 → 4 (builtin round gives 4 too)
+            (0.05, 50, 3),   # 2.5 → 3 (builtin round gives 2)
+            (0.35, 10, 4),   # 3.5 → 4 (builtin round gives 4)
+            # Non-boundary values are plain nearest-integer.
+            (0.26, 10, 3),
+            (0.24, 10, 2),
+            (1.0, 7, 7),
+        ],
+    )
+    def test_half_boundaries_round_up(self, fraction, num_clients, expected):
+        assert UniformFractionSampler(fraction).num_selected(num_clients) == expected
+
+    def test_default_study_cohorts_unchanged(self):
+        # The committed sync goldens use fraction=0.1 over these
+        # populations; half-up and half-to-even must agree there, so the
+        # rounding fix cannot perturb any golden history.
+        for num_clients in (8, 10, 30, 60, 100, 120):
+            sampler = UniformFractionSampler(0.1)
+            assert sampler.num_selected(num_clients) == max(
+                1, int(round(0.1 * num_clients))
+            )
+
+    def test_sample_size_matches_num_selected(self):
+        sampler = UniformFractionSampler(0.25)
+        selected = sampler.sample(0, 10, rng=0)
+        assert selected.size == sampler.num_selected(10) == 3
+        assert np.all(selected == np.sort(selected))
+
+    def test_min_participation_probability_uses_new_count(self):
+        assert UniformFractionSampler(0.25).min_participation_probability(
+            10
+        ) == pytest.approx(0.3)
+
+
+class TestSharding:
+    def test_contiguous_cover_without_overlap(self):
+        shards = shard_population(10, 3)
+        assert [(s.start, s.stop) for s in shards] == [(0, 4), (4, 7), (7, 10)]
+        assert sum(s.size for s in shards) == 10
+
+    def test_sizes_differ_by_at_most_one(self):
+        for num_clients, num_shards in ((100, 7), (8, 8), (1_000_000, 13)):
+            sizes = [s.size for s in shard_population(num_clients, num_shards)]
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == num_clients
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_population(10, 0)
+        with pytest.raises(ConfigurationError):
+            shard_population(3, 4)
+
+    def test_shard_label_flat_for_single_shard(self):
+        assert shard_label("client-sampling", 0, 1) == "client-sampling"
+        assert shard_label("client-sampling", 2, 4) == "client-sampling/shard-2"
+
+    def test_shard_sampler_maps_local_to_global(self):
+        shard = Shard(index=1, start=4, stop=7)
+        sampler = ShardSampler(FixedScheduleSampler([[0, 2]]), shard)
+        assert sampler.sample(0).tolist() == [4, 6]
+
+    def test_shard_sampler_rejects_out_of_range_local_ids(self):
+        shard = Shard(index=0, start=0, stop=2)
+        sampler = ShardSampler(FixedScheduleSampler([[0, 2]]), shard)
+        with pytest.raises(ConfigurationError):
+            sampler.sample(0)
+
+    def test_fraction_applies_per_shard(self):
+        shard = Shard(index=0, start=0, stop=10)
+        sampler = ShardSampler(UniformFractionSampler(0.25), shard)
+        assert sampler.sample(0, rng=0).size == 3
+        assert sampler.min_participation_probability() == pytest.approx(0.3)

@@ -106,6 +106,33 @@ class TestLifecycle:
         assert loaded.rounds_to_target == result.rounds_to_target
         assert loaded.metadata == result.metadata
 
+    def test_abandoned_round_nan_is_stored_as_strict_null(self, tmp_path):
+        # Abandoned semi-sync rounds record train_loss=NaN; the persisted
+        # payload must still parse under a strict JSON reader (jq et al.
+        # reject the bare NaN token the stdlib emits by default).
+        store = ExperimentStore(tmp_path)
+        spec = make_spec()
+        result = execute_spec(spec)
+        result.history.records[0].train_loss = float("nan")
+        store.save_result(spec, result)
+        key = store.key_for(spec)
+
+        def reject(token):
+            raise ValueError(f"non-standard JSON constant: {token}")
+
+        for path in (
+            tmp_path / ExperimentStore.RESULTS_DIR / f"{key}.json",
+            tmp_path / ExperimentStore.INDEX_NAME,
+        ):
+            text = path.read_text()
+            assert "NaN" not in text and "Infinity" not in text
+            for line in filter(None, text.splitlines()):
+                json.loads(line, parse_constant=reject)
+
+        loaded = store.load_result(key)
+        assert loaded.history.records[0].train_loss is None
+        assert loaded.history.records[1:] == result.history.records[1:]
+
     def test_load_unknown_key_raises(self, tmp_path):
         with pytest.raises(ConfigurationError, match="no stored result"):
             ExperimentStore(tmp_path).load_result("deadbeef")

@@ -1,12 +1,18 @@
 """Tests for repro.utils.validation and repro.utils.serialization."""
 
 import dataclasses
+import json
 
 import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError, ShapeError
-from repro.utils.serialization import load_json, save_json, to_jsonable
+from repro.utils.serialization import (
+    dumps_strict,
+    load_json,
+    save_json,
+    to_jsonable,
+)
 from repro.utils.validation import (
     check_fraction,
     check_non_negative,
@@ -80,3 +86,51 @@ class TestSerialization:
                 return "opaque"
 
         assert to_jsonable(Opaque()) == "opaque"
+
+
+def _reject_constant(token):
+    raise ValueError(f"non-standard JSON constant: {token}")
+
+
+def loads_strict(text):
+    """json.loads that refuses the NaN/Infinity extension tokens."""
+    return json.loads(text, parse_constant=_reject_constant)
+
+
+class TestStrictJson:
+    """Non-finite floats must never reach the wire as bare NaN/Infinity
+    tokens — jq and strict parsers reject them.  They serialise as null."""
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_nonfinite_python_floats_become_null(self, value):
+        assert to_jsonable(value) is None
+        assert to_jsonable({"train_loss": value}) == {"train_loss": None}
+
+    def test_nonfinite_numpy_values_become_null(self):
+        assert to_jsonable(np.float64("nan")) is None
+        assert to_jsonable(np.float32("inf")) is None
+        assert to_jsonable(np.array([1.0, np.nan, np.inf])) == [1.0, None, None]
+
+    def test_finite_floats_unchanged(self):
+        assert to_jsonable(0.5) == 0.5
+        assert to_jsonable(np.float64(-1.25)) == -1.25
+
+    def test_dumps_strict_output_parses_strictly(self):
+        payload = {"loss": float("nan"), "acc": [0.5, float("inf")]}
+        text = dumps_strict(payload)
+        assert "NaN" not in text and "Infinity" not in text
+        assert loads_strict(text) == {"loss": None, "acc": [0.5, None]}
+
+    def test_loads_strict_rejects_legacy_tokens(self):
+        # Sanity: the strict parser really does reject what the default
+        # json.dumps would have emitted.
+        with pytest.raises(ValueError, match="non-standard"):
+            loads_strict('{"loss": NaN}')
+
+    def test_save_json_is_strict(self, tmp_path):
+        path = save_json(
+            {"train_loss": float("nan")}, tmp_path / "result.json"
+        )
+        assert loads_strict(path.read_text()) == {"train_loss": None}

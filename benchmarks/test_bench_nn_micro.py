@@ -2,13 +2,21 @@
 
 These are true repeated-measurement benchmarks (unlike the experiment
 regenerations): forward+backward throughput of the paper's CNN1 on one
-mini-batch, the small-MLP step used by the bench presets, and the flat
-parameter packing that every federated round relies on.
+mini-batch, the small-MLP step used by the bench presets, the flat
+parameter packing that every federated round relies on, and — per
+registered array backend — the cohort-amortisation ratio of each stacked
+kernel (one cohort-C call vs C cohort-1 calls of the same op), written to
+``BENCH_backend_kernels.json`` for the regression gate.
 """
 
-import numpy as np
-from bench_utils import emit_summary
+import time
 
+import numpy as np
+from bench_utils import emit_summary, print_header, run_once
+
+from repro.experiments.tables import format_table
+from repro.nn.backend import available_backends, build_backend
+from repro.nn.batched import BatchedConv2D, BatchedCrossEntropy, BatchedLinear
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import CNN1, MLP
 
@@ -56,3 +64,153 @@ def test_micro_flat_param_roundtrip(benchmark):
         "nn_micro_flat_roundtrip", {"num_params": int(flat.size)}, benchmark
     )
     assert result.shape == flat.shape
+
+
+# --------------------------------------------------------------------------- #
+# Per-kernel, per-backend cohort amortisation
+# --------------------------------------------------------------------------- #
+#: Cohort size / per-client batch for the kernel micro-benchmarks.  64
+#: clients is the smallest population where the stacked kernels' win is
+#: comfortably above measurement noise on one core.
+KERNEL_COHORT = 64
+KERNEL_BATCH = 16
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _linear_speedups(backend) -> dict:
+    cohort, n, in_f, out_f = KERNEL_COHORT, KERNEL_BATCH, 64, 32
+    num_params = in_f * out_f + out_f
+    rng = np.random.default_rng(0)
+    params = rng.normal(size=(cohort, num_params))
+    x = rng.normal(size=(cohort, n, in_f))
+    grad_out = np.ones((cohort, n, out_f))
+    grads = np.zeros((cohort, num_params))
+    stacked = BatchedLinear(in_f, out_f, 0, backend=backend)
+    looped = BatchedLinear(in_f, out_f, 0, backend=backend)
+    grads_one = np.zeros((1, num_params))
+
+    def stacked_forward():
+        stacked.forward(params, x)
+
+    def stacked_backward():
+        stacked.forward(params, x)
+        stacked.backward(grads, grad_out)
+
+    def loop_forward():
+        for c in range(cohort):
+            looped.forward(params[c : c + 1], x[c : c + 1])
+
+    def loop_backward():
+        for c in range(cohort):
+            looped.forward(params[c : c + 1], x[c : c + 1])
+            looped.backward(grads_one, grad_out[c : c + 1])
+
+    return {
+        "forward_speedup": round(_best_of(loop_forward) / _best_of(stacked_forward), 3),
+        "backward_speedup": round(
+            _best_of(loop_backward) / _best_of(stacked_backward), 3
+        ),
+    }
+
+
+def _conv2d_speedups(backend) -> dict:
+    cohort, n = KERNEL_COHORT, 4
+    in_ch, out_ch, size = 2, 4, 8
+    num_params = out_ch * in_ch * 9 + out_ch
+    rng = np.random.default_rng(0)
+    params = rng.normal(size=(cohort, num_params))
+    x = rng.normal(size=(cohort, n, in_ch, size, size))
+    grad_out = np.ones((cohort, n, out_ch, size, size))
+    grads = np.zeros((cohort, num_params))
+    stacked = BatchedConv2D(in_ch, out_ch, 3, 1, 1, 0, backend=backend)
+    looped = BatchedConv2D(in_ch, out_ch, 3, 1, 1, 0, backend=backend)
+    grads_one = np.zeros((1, num_params))
+
+    def stacked_forward():
+        stacked.forward(params, x)
+
+    def stacked_backward():
+        stacked.forward(params, x)
+        stacked.backward(grads, grad_out)
+
+    def loop_forward():
+        for c in range(cohort):
+            looped.forward(params[c : c + 1], x[c : c + 1])
+
+    def loop_backward():
+        for c in range(cohort):
+            looped.forward(params[c : c + 1], x[c : c + 1])
+            looped.backward(grads_one, grad_out[c : c + 1])
+
+    return {
+        "forward_speedup": round(_best_of(loop_forward) / _best_of(stacked_forward), 3),
+        "backward_speedup": round(
+            _best_of(loop_backward) / _best_of(stacked_backward), 3
+        ),
+    }
+
+
+def _cross_entropy_speedups(backend) -> dict:
+    cohort, n, classes = KERNEL_COHORT, KERNEL_BATCH, 10
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(cohort, n, classes))
+    labels = rng.integers(0, classes, size=(cohort, n))
+    stacked = BatchedCrossEntropy(backend=backend)
+    looped = BatchedCrossEntropy(backend=backend)
+
+    def stacked_call():
+        stacked.value_and_grad(logits, labels)
+
+    def loop_call():
+        for c in range(cohort):
+            looped.value_and_grad(logits[c : c + 1], labels[c : c + 1])
+
+    return {"speedup": round(_best_of(loop_call) / _best_of(stacked_call), 3)}
+
+
+def test_micro_backend_kernels(benchmark):
+    """Stacked-kernel amortisation per backend: one cohort-64 call must
+    beat 64 cohort-1 calls of the same op — the per-kernel version of the
+    executor-level speedup the vectorized path is built on."""
+
+    def measure():
+        report = {}
+        for name in available_backends():
+            backend = build_backend(name)
+            report[name] = {
+                "linear": _linear_speedups(backend),
+                "conv2d": _conv2d_speedups(backend),
+                "cross_entropy": _cross_entropy_speedups(backend),
+            }
+        return report
+
+    report = run_once(benchmark, measure)
+    summary = {
+        "clients": KERNEL_COHORT,
+        "backends": sorted(report),
+        **report,
+    }
+    rows = [
+        {"backend": name, "kernel": kernel, **ratios}
+        for name, kernels in report.items()
+        for kernel, ratios in kernels.items()
+    ]
+    print_header(f"Stacked-kernel amortisation ({KERNEL_COHORT} clients)")
+    print(format_table(rows))
+    emit_summary("backend_kernels", summary, benchmark=benchmark)
+
+    # Sanity floor: batching a cohort into one kernel call must win on
+    # every registered-and-importable backend; the committed baseline in
+    # benchmarks/baselines/ pins the actual ratios under the 20% gate.
+    for name, kernels in report.items():
+        for kernel, ratios in kernels.items():
+            for metric, value in ratios.items():
+                assert value > 1.0, (name, kernel, metric, value)

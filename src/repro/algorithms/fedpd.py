@@ -36,6 +36,11 @@ class FedPD(FederatedAlgorithm):
     #: protocol has no analogue in the buffered asynchronous engine.
     supports_async = False
 
+    #: The communication coin lives in :meth:`aggregate` (server side), so
+    #: local updates are pure primal-dual SGD and a cohort's duals stack
+    #: along the client axis exactly like FedADMM's.
+    supports_batched = True
+
     def __init__(self, rho: float = 0.01, communication_probability: float = 1.0):
         if rho <= 0:
             raise ConfigurationError(f"rho must be positive, got {rho}")
@@ -88,6 +93,51 @@ class FedPD(FederatedAlgorithm):
             num_samples=problem.num_samples,
             local_epochs=config.epochs,
             train_loss=result.train_loss,
+        )
+
+    def batched_local_update(
+        self,
+        cohort,
+        clients: list[ClientState],
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+    ) -> list[ClientMessage]:
+        """A cohort of primal-dual updates with the duals stacked.
+
+        Mirrors :func:`repro.core.admm_client.admm_client_update` with a
+        leading client axis: warm start from each client's ``w``, augmented
+        gradient ``y + rho (params − theta)``, then the dual ascent step —
+        the same computation :meth:`local_update` performs per client, up
+        to stacked-matmul reduction order.
+        """
+        from repro.nn.batched import batched_run_local_sgd
+
+        for client in clients:
+            self.init_client_state(client, global_params)
+        theta = global_params[None, :]
+        w_old = np.stack([client.get("w") for client in clients])
+        y_old = np.stack([client.get("y") for client in clients])
+
+        w_new, losses = batched_run_local_sgd(
+            cohort,
+            w_old,
+            config,
+            extra_grad=lambda params: y_old + self.rho * (params - theta),
+        )
+        y_new = y_old + self.rho * (w_new - theta)
+        augmented = w_new + y_new / self.rho
+
+        for index, client in enumerate(clients):
+            client.set("w", w_new[index])
+            client.set("y", y_new[index])
+        return self.build_cohort_messages(
+            clients,
+            cohort,
+            config.epochs,
+            losses,
+            lambda index: {"augmented_model": augmented[index].copy()},
         )
 
     def aggregate(

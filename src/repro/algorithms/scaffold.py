@@ -31,6 +31,11 @@ class Scaffold(FederatedAlgorithm):
     #: computed from, so SCAFFOLD opts out of asynchronous aggregation.
     supports_async = False
 
+    #: The drift correction is constant within a round, so a whole cohort's
+    #: corrected SGD runs as one stacked ``extra_grad`` term (control
+    #: variates stacked along the client axis).
+    supports_batched = True
+
     def __init__(self, server_step_size: float = 1.0):
         if server_step_size <= 0:
             raise ConfigurationError(
@@ -98,6 +103,61 @@ class Scaffold(FederatedAlgorithm):
             num_samples=problem.num_samples,
             local_epochs=config.epochs,
             train_loss=float(np.mean(losses)),
+        )
+
+    def batched_local_update(
+        self,
+        cohort,
+        clients: list[ClientState],
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+    ) -> list[ClientMessage]:
+        """A cohort of corrected local updates as one stacked SGD run.
+
+        The per-client correction ``c − c_i`` is fixed for the whole round,
+        so it stacks into a single ``(C, dim)`` ``extra_grad`` term; the
+        option-II refresh divides by the shared step count (cohorts group
+        on ``(n, epochs, batch_size)``, so ``K`` is identical across the
+        cohort).  Numerics match :meth:`local_update` client for client up
+        to stacked-matmul reduction order.
+        """
+        from repro.nn.batched import batched_run_local_sgd, local_steps_per_round
+
+        for client in clients:
+            self.init_client_state(client, global_params)
+        server_control = server_state["control"]
+        client_controls = np.stack([client.get("control") for client in clients])
+        correction = server_control[None, :] - client_controls
+
+        start = np.broadcast_to(
+            global_params, (len(clients), global_params.size)
+        )
+        params, losses = batched_run_local_sgd(
+            cohort, start, config, extra_grad=lambda _: correction
+        )
+
+        num_steps = local_steps_per_round(cohort.num_samples, config)
+        if num_steps == 0:
+            raise ConfigurationError("SCAFFOLD client performed zero local steps")
+        new_controls = client_controls - server_control[None, :] + (
+            global_params[None, :] - params
+        ) / (num_steps * config.learning_rate)
+
+        delta_params = params - global_params[None, :]
+        delta_controls = new_controls - client_controls
+        for index, client in enumerate(clients):
+            client.set("control", new_controls[index])
+        return self.build_cohort_messages(
+            clients,
+            cohort,
+            config.epochs,
+            losses,
+            lambda index: {
+                "delta_params": delta_params[index].copy(),
+                "delta_control": delta_controls[index].copy(),
+            },
         )
 
     def aggregate(

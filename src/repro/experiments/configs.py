@@ -67,6 +67,11 @@ class ExperimentConfig:
     network: str | None = None
     executor: str = "serial"
     max_workers: int | None = None
+    # Array backend for the vectorized executor's stacked kernels (see
+    # repro.nn.backend).  None defers to the REPRO_BACKEND environment
+    # variable and then the "numpy" default; per-task executors always run
+    # the serial NumPy model code and ignore this field.
+    backend: str | None = None
     # Execution plan (see repro.federated.plans): "sync" is the bit-identical
     # lock-step round loop, "semisync" the deadline-bounded plan with
     # FedBuff-weighted late arrivals, "async" the event-driven buffered plan.
@@ -139,6 +144,14 @@ class ExperimentConfig:
                 "the hierarchical plan is a sharded synchronous round; "
                 f"it cannot be combined with mode={self.mode!r}"
             )
+        if self.backend is not None:
+            from repro.nn.backend import BACKEND_REGISTRY
+
+            if self.backend not in BACKEND_REGISTRY:
+                raise ConfigurationError(
+                    f"unknown backend {self.backend!r}; "
+                    f"available: {sorted(BACKEND_REGISTRY)}"
+                )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced.

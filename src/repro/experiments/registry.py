@@ -48,6 +48,7 @@ OVERRIDE_FIELDS = (
     "deadline_s",
     "network",
     "executor",
+    "backend",
     "mode",
     "plan",
     "num_shards",

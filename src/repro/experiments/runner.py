@@ -136,7 +136,11 @@ def build_simulation(
         transport=transport,
         network=network,
         faults=faults,
-        executor=build_executor(config.executor, max_workers=config.max_workers),
+        executor=build_executor(
+            config.executor,
+            max_workers=config.max_workers,
+            backend=config.backend,
+        ),
     )
     if config.mode == "async":
         # buffer_size=None defers to the plan's default: the synchronous

@@ -1,0 +1,236 @@
+"""Pluggable array backends for the batched kernels.
+
+Every stacked kernel in :mod:`repro.nn.batched` routes its heavy math —
+matmuls/einsums, the tanh/softmax transcendentals, reductions, and buffer
+allocation — through a :class:`Backend` instead of calling NumPy directly.
+The seam has one deliberate contract:
+
+* **NumPy in, NumPy out.**  Every method takes ``np.ndarray`` arguments
+  and returns ``np.ndarray`` results (float64 unless stated otherwise).
+  A backend may convert to its own array type internally (e.g. zero-copy
+  ``torch.from_numpy`` round-trips), but the kernels never see anything
+  but NumPy arrays, so slice assignment into shared gradient buffers and
+  plain elementwise Python operators keep working unchanged.
+* **Bit-compatible by default.**  :class:`NumpyBackend` delegates straight
+  to NumPy (and to :mod:`repro.nn.functional` for the softmax family), so
+  selecting it reproduces the historical batched path exactly; the golden
+  parity contract (``atol=1e-8`` vs the serial executor, see
+  ``docs/tutorials/fast-sweeps.md``) is stated for this backend.
+  Accelerated backends may reorder reductions further; they are expected
+  to stay within the same tolerance on the pinned goldens but are gated
+  by the benchmark suite, not the golden tests.
+
+Selection is registry-based with three override levels (highest wins):
+
+1. an explicit name (``ExperimentConfig.backend`` / CLI ``--backend``),
+2. the ``REPRO_BACKEND`` environment variable,
+3. the ``"numpy"`` default.
+
+Optional backends are import-guarded: they always appear in
+:data:`BACKEND_REGISTRY` (so ``--backend torch`` parses everywhere), but
+constructing one without its library installed raises a clear
+:class:`~repro.exceptions.ConfigurationError`.  Use
+:func:`available_backends` to probe what actually builds on this machine
+(CI uses it to pick the alternate leg of the backend matrix).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.functional import log_softmax as _np_log_softmax
+from repro.nn.functional import softmax as _np_softmax
+
+#: Environment variable consulted when no explicit backend name is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: The default backend name when neither an explicit name nor the
+#: environment override is present.
+DEFAULT_BACKEND = "numpy"
+
+
+class Backend:
+    """Kernel contract the batched ops call through.
+
+    Subclasses override any subset; the base implementations are the
+    NumPy reference semantics, so a backend only has to reimplement the
+    operations it can actually accelerate.
+    """
+
+    #: Registry name; also what ``repr`` and metrics report.
+    name = "base"
+
+    # ------------------------------------------------------------------ #
+    # Buffer allocation (the workspace in repro.nn.batched reuses these)
+    # ------------------------------------------------------------------ #
+    def zeros(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A zero-filled float64 buffer."""
+        return np.zeros(shape, dtype=np.float64)
+
+    def empty(self, shape: tuple[int, ...]) -> np.ndarray:
+        """An uninitialised float64 buffer (every element must be assigned)."""
+        return np.empty(shape, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Stacked matrix product ``a @ b`` (broadcasting leading axes)."""
+        return a @ b
+
+    def einsum(self, spec: str, *operands: np.ndarray) -> np.ndarray:
+        """General tensor contraction (rarely on the hot path)."""
+        return np.einsum(spec, *operands)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise ops
+    # ------------------------------------------------------------------ #
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(x)
+
+    def where(self, condition: np.ndarray, x, y) -> np.ndarray:
+        return np.where(condition, x, y)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a * b
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
+        return x.sum(axis=axis)
+
+    def mean(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
+        return x.mean(axis=axis)
+
+    # ------------------------------------------------------------------ #
+    # Fused softmax family (what the cross-entropy kernel actually calls;
+    # accelerated backends typically fuse these rather than compose the
+    # primitives above)
+    # ------------------------------------------------------------------ #
+    def softmax(self, logits: np.ndarray) -> np.ndarray:
+        return _np_softmax(logits)
+
+    def log_softmax(self, logits: np.ndarray) -> np.ndarray:
+        return _np_log_softmax(logits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(Backend):
+    """The default backend: plain NumPy, numerics identical to the seed."""
+
+    name = "numpy"
+
+
+class TorchBackend(Backend):
+    """Optional torch-accelerated backend (import-guarded).
+
+    Arrays round-trip through zero-copy ``torch.from_numpy`` /
+    ``Tensor.numpy``, so the NumPy-in/NumPy-out contract holds; the win
+    is torch's threaded CPU matmul and fused transcendentals on large
+    stacked operands.  Constructing this without torch installed raises
+    :class:`ConfigurationError` — the registry entry exists everywhere so
+    ``--backend torch`` parses, but only machines with torch can run it.
+    """
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        try:
+            import torch
+        except ImportError:
+            raise ConfigurationError(
+                "backend 'torch' requires the optional torch package, "
+                "which is not installed; use --backend numpy or install torch"
+            ) from None
+        self._torch = torch
+
+    def _to(self, x: np.ndarray):
+        return self._torch.from_numpy(np.ascontiguousarray(x, dtype=np.float64))
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (self._to(a) @ self._to(b)).numpy()
+
+    def einsum(self, spec: str, *operands: np.ndarray) -> np.ndarray:
+        return self._torch.einsum(spec, *(self._to(op) for op in operands)).numpy()
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return self._torch.tanh(self._to(x)).numpy()
+
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        return self._torch.exp(self._to(x)).numpy()
+
+    def softmax(self, logits: np.ndarray) -> np.ndarray:
+        return self._torch.softmax(self._to(logits), dim=-1).numpy()
+
+    def log_softmax(self, logits: np.ndarray) -> np.ndarray:
+        return self._torch.log_softmax(self._to(logits), dim=-1).numpy()
+
+
+#: Name → zero-argument factory.  Factories may raise
+#: :class:`ConfigurationError` when the backing library is missing —
+#: that is the import guard, surfaced at build time, not import time.
+BACKEND_REGISTRY: dict[str, Callable[[], Backend]] = {
+    "numpy": NumpyBackend,
+    "torch": TorchBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Add a backend factory to the registry (names must be unique)."""
+    if name in BACKEND_REGISTRY:
+        raise ConfigurationError(f"backend {name!r} already registered")
+    BACKEND_REGISTRY[name] = factory
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Apply the override chain: explicit name > env var > default."""
+    if name is not None:
+        return name
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def build_backend(name: str | None = None) -> Backend:
+    """Instantiate a backend by (resolved) registry name.
+
+    Raises :class:`ConfigurationError` for unknown names and for optional
+    backends whose library is not installed on this machine.
+    """
+    resolved = resolve_backend_name(name)
+    try:
+        factory = BACKEND_REGISTRY[resolved]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {resolved!r}; available: {sorted(BACKEND_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def get_backend(name: str | None = None) -> Backend:
+    """Alias of :func:`build_backend` (the spelling callers tend to reach for)."""
+    return build_backend(name)
+
+
+def available_backends() -> list[str]:
+    """Registry names whose factory actually builds on this machine.
+
+    Probes each factory once; optional backends with missing libraries
+    are silently excluded.  ``"numpy"`` is always present.
+    """
+    names = []
+    for name in BACKEND_REGISTRY:
+        try:
+            build_backend(name)
+        except ConfigurationError:
+            continue
+        names.append(name)
+    return names

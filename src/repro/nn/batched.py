@@ -3,26 +3,41 @@
 The federated hot path is local training: every selected client runs a few
 epochs of SGD on a small model, and the serial executor pays the full
 Python dispatch cost (``set_flat_params``, layer-by-layer forward/backward,
-``get_flat_grad``) once *per client per batch*.  For the models the bench
-presets actually sweep — stacks of :class:`~repro.nn.layers.Linear` and
-elementwise activations on flat features — that dispatch cost dwarfs the
-arithmetic.  This module removes it by giving the whole cohort a leading
-client axis:
+``get_flat_grad``) once *per client per batch*.  For the models the presets
+sweep — stacks of :class:`~repro.nn.layers.Linear` and elementwise
+activations on flat features, and the im2col convolutions of the paper's
+CNN zoo — that dispatch cost dwarfs the arithmetic.  This module removes
+it by giving the whole cohort a leading client axis:
 
 * parameters become one ``(C, dim)`` array (one flat vector per client),
 * features/labels become ``(C, n, d)`` / ``(C, n)`` stacks,
 * each layer's forward/backward is a single stacked ``matmul`` /
   elementwise op over all ``C`` clients at once.
 
+All raw array math goes through a pluggable :class:`~repro.nn.backend.Backend`
+(NumPy by default; see :mod:`repro.nn.backend` for the selection chain),
+and every :class:`BatchedModel` owns a per-cohort-shape **workspace**: the
+``(C, dim)`` gradient buffer and the cross-entropy one-hot buffer are
+allocated once per distinct cohort size and reused across every step and
+round.  The gradient buffer is reused *without zeroing* — this is safe
+because each parametric op's backward **assigns** (never accumulates) its
+full parameter slice, and :func:`build_batched_model` verifies the slices
+tile the entire flat layout (``offset == model.num_params``).
+
 :func:`build_batched_model` compiles a supported model template into a
-:class:`BatchedModel`; unsupported architectures (convolutions, pooling,
-dropout) return ``None`` and the caller falls back to per-client execution.
-:func:`batched_run_local_sgd` mirrors
+:class:`BatchedModel`; architectures with genuinely unbatchable pieces
+(custom layers, subclassed losses) return ``None`` and the caller falls
+back to per-client execution.  :func:`batched_run_local_sgd` mirrors
 :func:`repro.algorithms.base.run_local_sgd` step for step — same batch
 schedule, same update order, same loss bookkeeping — so a batched cohort
 reproduces the serial histories up to stacked-matmul reduction order
 (``atol=1e-8`` on the pinned goldens, see ``docs/tutorials/fast-sweeps.md``
-for the tolerance contract).
+for the tolerance contract).  The one documented exception is
+:class:`BatchedDropout`: dropout masks come from a dedicated per-model
+stream (pre-seeded per cohort, drawn with a leading client axis so every
+client gets its own mask), not from the serial layers' private generators,
+so dropout-bearing models reproduce deterministically under the vectorized
+executor but match serial only in distribution.
 
 Nothing here knows about clients, algorithms, or executors: the module
 consumes arrays and a training config, exactly like the serial kernels in
@@ -38,14 +53,30 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.exceptions import ShapeError
-from repro.nn.functional import log_softmax, softmax
-from repro.nn.layers import Flatten, Linear, ReLU, Sequential, Tanh
+from repro.nn.backend import Backend, get_backend
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.layers import (
+    Conv2D,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Tanh,
+)
 from repro.nn.losses import CrossEntropyLoss, Loss, MSELoss
 from repro.nn.module import Module
 
 #: Extra per-parameter gradient term added before each SGD step, evaluated
 #: at the current stacked parameters ``(C, dim)`` (proximal/dual terms).
 ExtraGrad = Callable[[np.ndarray], np.ndarray]
+
+
+def _resolve_backend(backend: Backend | str | None) -> Backend:
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)
 
 
 # --------------------------------------------------------------------------- #
@@ -58,23 +89,50 @@ class _BatchedOp:
         raise NotImplementedError
 
     def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
-        """Accumulate parameter gradients into ``grads`` (``(C, dim)``) and
-        return the gradient with respect to this op's input."""
+        """Write parameter gradients into ``grads`` (``(C, dim)``) and
+        return the gradient with respect to this op's input.
+
+        Parametric ops **assign** their full slice of ``grads`` (no ``+=``):
+        the model's workspace relies on this to reuse the buffer between
+        steps without zeroing it.
+        """
+        raise NotImplementedError
+
+    def clone(self) -> "_BatchedOp":
+        """A fresh op with the same configuration and no cached state.
+
+        Cohorts executing concurrently must not share ops: forward caches
+        activations on the instance (``_input``/``_mask``/...), so each
+        concurrent execution context clones the compiled pipeline.
+        """
         raise NotImplementedError
 
 
 class BatchedLinear(_BatchedOp):
     """``y = x @ W + b`` with a leading client axis on everything."""
 
-    def __init__(self, in_features: int, out_features: int, offset: int):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        offset: int,
+        backend: Backend | str | None = None,
+    ):
         self.in_features = in_features
         self.out_features = out_features
+        self.offset = offset
+        self.backend = _resolve_backend(backend)
         self.weight_slice = slice(offset, offset + in_features * out_features)
         self.bias_slice = slice(
             self.weight_slice.stop, self.weight_slice.stop + out_features
         )
         self._input: np.ndarray | None = None
         self._weight: np.ndarray | None = None
+
+    def clone(self) -> "BatchedLinear":
+        return BatchedLinear(
+            self.in_features, self.out_features, self.offset, self.backend
+        )
 
     def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
         cohort = params.shape[0]
@@ -89,45 +147,241 @@ class BatchedLinear(_BatchedOp):
         bias = params[:, self.bias_slice]
         self._input = x
         self._weight = weight
-        return x @ weight + bias[:, None, :]
+        return self.backend.matmul(x, weight) + bias[:, None, :]
 
     def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
         if self._input is None or self._weight is None:
             raise ShapeError("backward called before forward on BatchedLinear")
         cohort = grads.shape[0]
-        grads[:, self.weight_slice] = (
-            self._input.transpose(0, 2, 1) @ grad_output
+        grads[:, self.weight_slice] = self.backend.matmul(
+            self._input.transpose(0, 2, 1), grad_output
         ).reshape(cohort, -1)
-        grads[:, self.bias_slice] = grad_output.sum(axis=1)
-        return grad_output @ self._weight.transpose(0, 2, 1)
+        grads[:, self.bias_slice] = self.backend.sum(grad_output, axis=1)
+        return self.backend.matmul(grad_output, self._weight.transpose(0, 2, 1))
+
+
+class BatchedConv2D(_BatchedOp):
+    """Stacked 2-D convolution via the documented im2col path.
+
+    im2col is weight-independent, so the client axis folds into the im2col
+    batch — one patch extraction covers the whole cohort — and only the
+    multiply against the per-client weights runs as a stacked matmul:
+
+    * ``(C, n, c, h, w)`` → fold → ``(C·n, c, h, w)`` → :func:`im2col` →
+      reshape → ``cols (C, n·oh·ow, c·kh·kw)``,
+    * per-client weights ``(C, out_ch, c·kh·kw)`` from the flat params,
+    * ``out = cols @ Wᵀ + b`` — one batched matmul for all clients.
+
+    Row ordering matches :class:`repro.nn.layers.Conv2D` exactly, so each
+    client's slice reproduces the serial layer up to reduction order.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int,
+        padding: int,
+        offset: int,
+        backend: Backend | str | None = None,
+    ):
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.offset = offset
+        self.backend = _resolve_backend(backend)
+        weight_size = out_channels * in_channels * kernel_size * kernel_size
+        self.weight_slice = slice(offset, offset + weight_size)
+        self.bias_slice = slice(
+            self.weight_slice.stop, self.weight_slice.stop + out_channels
+        )
+        self._cols: np.ndarray | None = None
+        self._weight: np.ndarray | None = None
+        self._input_shape: tuple[int, ...] | None = None
+
+    def clone(self) -> "BatchedConv2D":
+        return BatchedConv2D(
+            self.in_channels,
+            self.out_channels,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            self.offset,
+            self.backend,
+        )
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5 or x.shape[2] != self.in_channels:
+            raise ShapeError(
+                f"BatchedConv2D expected input (C, n, {self.in_channels}, "
+                f"h, w), got {x.shape}"
+            )
+        cohort, n, _, height, width = x.shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+
+        folded = x.reshape(cohort * n, self.in_channels, height, width)
+        cols = im2col(
+            folded, self.kernel_size, self.kernel_size, self.stride, self.padding
+        ).reshape(cohort, n * out_h * out_w, -1)
+        weight = params[:, self.weight_slice].reshape(
+            cohort, self.out_channels, -1
+        )
+        bias = params[:, self.bias_slice]
+        out = self.backend.matmul(cols, weight.transpose(0, 2, 1)) + bias[:, None, :]
+        out = out.reshape(cohort, n, out_h, out_w, self.out_channels)
+
+        self._cols = cols
+        self._weight = weight
+        self._input_shape = x.shape
+        return out.transpose(0, 1, 4, 2, 3)
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._weight is None or self._input_shape is None:
+            raise ShapeError("backward called before forward on BatchedConv2D")
+        cohort, n = self._input_shape[0], self._input_shape[1]
+        # (C, n, out_ch, oh, ow) -> (C, n*oh*ow, out_ch): the serial layer's
+        # row order, per client.
+        grad_mat = grad_output.transpose(0, 1, 3, 4, 2).reshape(
+            cohort, -1, self.out_channels
+        )
+        grads[:, self.weight_slice] = self.backend.matmul(
+            grad_mat.transpose(0, 2, 1), self._cols
+        ).reshape(cohort, -1)
+        grads[:, self.bias_slice] = self.backend.sum(grad_mat, axis=1)
+
+        grad_cols = self.backend.matmul(grad_mat, self._weight)
+        folded_shape = (cohort * n,) + self._input_shape[2:]
+        grad_input = col2im(
+            grad_cols.reshape(-1, grad_cols.shape[2]),
+            folded_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        return grad_input.reshape(self._input_shape)
+
+
+class BatchedMaxPool2D(_BatchedOp):
+    """Stacked max pooling: clients *and* channels fold into the im2col batch."""
+
+    def __init__(
+        self,
+        kernel_size: int,
+        stride: int,
+        backend: Backend | str | None = None,
+    ):
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.backend = _resolve_backend(backend)
+        self._input_shape: tuple[int, ...] | None = None
+        self._argmax: np.ndarray | None = None
+        self._cols_grad: np.ndarray | None = None
+
+    def clone(self) -> "BatchedMaxPool2D":
+        return BatchedMaxPool2D(self.kernel_size, self.stride, self.backend)
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5:
+            raise ShapeError(f"BatchedMaxPool2D expected 5-D input, got {x.shape}")
+        cohort, n, channels, height, width = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = conv_output_size(height, k, s, 0)
+        out_w = conv_output_size(width, k, s, 0)
+
+        folded = x.reshape(cohort * n * channels, 1, height, width)
+        cols = im2col(folded, k, k, s, 0)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+
+        self._input_shape = x.shape
+        self._argmax = argmax
+        return out.reshape(cohort, n, channels, out_h, out_w)
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None or self._argmax is None:
+            raise ShapeError("backward called before forward on BatchedMaxPool2D")
+        cohort, n, channels, height, width = self._input_shape
+        k, s = self.kernel_size, self.stride
+
+        grad_flat = grad_output.reshape(-1)
+        # Workspace: the scatter target is reused between steps (zeroed each
+        # time — only the argmax positions are written).
+        if self._cols_grad is None or self._cols_grad.shape[0] != grad_flat.size:
+            self._cols_grad = self.backend.zeros((grad_flat.size, k * k))
+        else:
+            self._cols_grad.fill(0.0)
+        self._cols_grad[np.arange(grad_flat.size), self._argmax] = grad_flat
+        grad_input = col2im(
+            self._cols_grad, (cohort * n * channels, 1, height, width), k, k, s, 0
+        )
+        return grad_input.reshape(self._input_shape)
+
+
+class BatchedImageReshape(_BatchedOp):
+    """Unflatten ``(C, n, c·h·w)`` feature stacks into ``(C, n, c, h, w)``."""
+
+    def __init__(self, channels: int, height: int, width: int):
+        self.channels = channels
+        self.height = height
+        self.width = width
+
+    def clone(self) -> "BatchedImageReshape":
+        return BatchedImageReshape(self.channels, self.height, self.width)
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        expected = self.channels * self.height * self.width
+        if x.ndim != 3 or x.shape[2] != expected:
+            raise ShapeError(
+                f"BatchedImageReshape expected input (C, n, {expected}), "
+                f"got {x.shape}"
+            )
+        return x.reshape(
+            x.shape[0], x.shape[1], self.channels, self.height, self.width
+        )
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(grad_output.shape[0], grad_output.shape[1], -1)
 
 
 class BatchedReLU(_BatchedOp):
-    def __init__(self) -> None:
+    def __init__(self, backend: Backend | str | None = None) -> None:
+        self.backend = _resolve_backend(backend)
         self._mask: np.ndarray | None = None
+
+    def clone(self) -> "BatchedReLU":
+        return BatchedReLU(self.backend)
 
     def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        return self.backend.where(self._mask, x, 0.0)
 
     def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise ShapeError("backward called before forward on BatchedReLU")
-        return grad_output * self._mask
+        return self.backend.multiply(grad_output, self._mask)
 
 
 class BatchedTanh(_BatchedOp):
-    def __init__(self) -> None:
+    def __init__(self, backend: Backend | str | None = None) -> None:
+        self.backend = _resolve_backend(backend)
         self._output: np.ndarray | None = None
 
+    def clone(self) -> "BatchedTanh":
+        return BatchedTanh(self.backend)
+
     def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
-        self._output = np.tanh(x)
+        self._output = self.backend.tanh(x)
         return self._output
 
     def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
             raise ShapeError("backward called before forward on BatchedTanh")
-        return grad_output * (1.0 - self._output**2)
+        return self.backend.multiply(grad_output, 1.0 - self._output**2)
 
 
 class BatchedFlatten(_BatchedOp):
@@ -135,6 +389,9 @@ class BatchedFlatten(_BatchedOp):
 
     def __init__(self) -> None:
         self._input_shape: tuple[int, ...] | None = None
+
+    def clone(self) -> "BatchedFlatten":
+        return BatchedFlatten()
 
     def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
         self._input_shape = x.shape
@@ -146,28 +403,87 @@ class BatchedFlatten(_BatchedOp):
         return grad_output.reshape(self._input_shape)
 
 
+class BatchedDropout(_BatchedOp):
+    """Inverted dropout with per-client masks; identity in evaluation mode.
+
+    Each training-mode forward draws one mask of the activation's full
+    ``(C, n, ...)`` shape — a distinct mask per client — from the op's own
+    generator.  The generator is **not** the serial layers' private stream:
+    serial execution interleaves per-client draws in a way a single stacked
+    forward cannot replay, so dropout-bearing models are deterministic
+    under the vectorized executor (see :meth:`BatchedModel.reseed_dropout`)
+    but match the serial path only in distribution.  The ``atol=1e-8``
+    tolerance contract therefore applies to dropout-free models.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator | int | None = None):
+        self.rate = rate
+        self.training = True
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(0 if rng is None else rng)
+        )
+        self._mask: np.ndarray | None = None
+
+    def clone(self) -> "BatchedDropout":
+        # Clones start from a fresh deterministic stream; executors reseed
+        # per cohort before use (BatchedModel.reseed_dropout).
+        return BatchedDropout(self.rate, 0)
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grads: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
 # --------------------------------------------------------------------------- #
 # Batched losses
 # --------------------------------------------------------------------------- #
 class BatchedCrossEntropy:
     """Per-client softmax cross-entropy over ``(C, n, K)`` logits."""
 
+    def __init__(self, backend: Backend | str | None = None) -> None:
+        self.backend = _resolve_backend(backend)
+        self._one_hot: np.ndarray | None = None
+
+    def clone(self) -> "BatchedCrossEntropy":
+        return BatchedCrossEntropy(self.backend)
+
     def value_and_grad(
         self, logits: np.ndarray, targets: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         targets = np.asarray(targets, dtype=np.int64)
         n = logits.shape[1]
-        log_probs = log_softmax(logits)
+        log_probs = self.backend.log_softmax(logits)
         picked = np.take_along_axis(log_probs, targets[:, :, None], axis=2)
         losses = -picked[:, :, 0].mean(axis=1)
-        one_hot = np.zeros_like(logits)
-        np.put_along_axis(one_hot, targets[:, :, None], 1.0, axis=2)
-        grad = (softmax(logits) - one_hot) / n
+        # Workspace: one reusable one-hot buffer per logits shape (zeroed
+        # each step — the scatter writes only the target entries).
+        if self._one_hot is None or self._one_hot.shape != logits.shape:
+            self._one_hot = self.backend.zeros(logits.shape)
+        else:
+            self._one_hot.fill(0.0)
+        np.put_along_axis(self._one_hot, targets[:, :, None], 1.0, axis=2)
+        grad = (self.backend.softmax(logits) - self._one_hot) / n
         return losses, grad
 
 
 class BatchedMSE:
     """Per-client mean squared error over ``(C, ...)`` predictions."""
+
+    def __init__(self, backend: Backend | str | None = None) -> None:
+        self.backend = _resolve_backend(backend)
+
+    def clone(self) -> "BatchedMSE":
+        return BatchedMSE(self.backend)
 
     def value_and_grad(
         self, predictions: np.ndarray, targets: np.ndarray
@@ -185,16 +501,16 @@ class BatchedMSE:
         return losses, grad
 
 
-def _batched_loss_for(loss: Loss):
+def _batched_loss_for(loss: Loss, backend: Backend):
     """The stacked counterpart of a serial loss, or ``None`` if unsupported.
 
     Exact type matches only: a subclass may override ``value_and_grad``
     with semantics the batched kernel would silently diverge from.
     """
     if type(loss) is CrossEntropyLoss:
-        return BatchedCrossEntropy()
+        return BatchedCrossEntropy(backend)
     if type(loss) is MSELoss:
-        return BatchedMSE()
+        return BatchedMSE(backend)
     return None
 
 
@@ -207,28 +523,96 @@ class BatchedModel:
     The flat-parameter layout is exactly the template's
     :meth:`~repro.nn.module.Module.get_flat_params` order, so rows of the
     stacked parameter array round-trip into the serial model unchanged.
+
+    The model owns a per-cohort-shape workspace: one ``(C, dim)`` gradient
+    buffer per distinct cohort size ``C``, reused across every step, round,
+    and :meth:`loss_and_grad` call.  **The returned gradient array is owned
+    by this workspace and is overwritten by the next call** — consume it
+    (or copy it) before calling again.  A ``BatchedModel`` instance is not
+    safe for concurrent use; executors give each concurrent cohort its own
+    :meth:`clone`.
     """
 
-    def __init__(self, ops: list[_BatchedOp], dim: int, loss) -> None:
+    def __init__(
+        self,
+        ops: list[_BatchedOp],
+        dim: int,
+        loss,
+        backend: Backend | str | None = None,
+    ) -> None:
         self.ops = ops
         self.dim = dim
         self.loss = loss
+        self.backend = _resolve_backend(backend)
         #: Optional :class:`repro.obs.Profiler`: when set, every stacked
         #: op's forward/backward is timed under a ``kernel.*`` key.  The
         #: untimed hot path pays exactly one ``None`` check per call.
         self.profiler = None
+        self._grad_buffers: dict[int, np.ndarray] = {}
+
+    def clone(self) -> "BatchedModel":
+        """A fresh execution context: same compiled pipeline, own workspace."""
+        cloned = BatchedModel(
+            [op.clone() for op in self.ops], self.dim, self.loss.clone(),
+            self.backend,
+        )
+        cloned.profiler = self.profiler
+        return cloned
+
+    @property
+    def has_dropout(self) -> bool:
+        """Whether any op draws stochastic masks during training."""
+        return any(isinstance(op, BatchedDropout) for op in self.ops)
+
+    def reseed_dropout(self, seed: int) -> None:
+        """Reset every dropout op's mask stream deterministically.
+
+        Executors call this once per cohort before training, with a seed
+        pre-drawn in task order, so dropout-bearing cohorts reproduce
+        regardless of which worker thread (or pooled model clone) runs them.
+        """
+        for index, op in enumerate(self.ops):
+            if isinstance(op, BatchedDropout):
+                op._rng = np.random.default_rng([seed, index])
+
+    def train(self, training: bool = True) -> "BatchedModel":
+        """Toggle training mode (dropout active) on every stochastic op."""
+        for op in self.ops:
+            if isinstance(op, BatchedDropout):
+                op.training = training
+        return self
+
+    def eval(self) -> "BatchedModel":
+        return self.train(False)
+
+    def _grads_for(self, cohort: int) -> np.ndarray:
+        """The reused ``(C, dim)`` gradient buffer for this cohort size.
+
+        Never zeroed between uses: every parametric op's backward assigns
+        its full slice, and compilation verified the slices tile the whole
+        flat layout, so each backward pass overwrites every element.
+        """
+        buffer = self._grad_buffers.get(cohort)
+        if buffer is None:
+            buffer = self.backend.zeros((cohort, self.dim))
+            self._grad_buffers[cohort] = buffer
+        return buffer
 
     def loss_and_grad(
         self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-client mean loss ``(C,)`` and flat gradients ``(C, dim)``."""
+        """Per-client mean loss ``(C,)`` and flat gradients ``(C, dim)``.
+
+        The gradient array is the model's reused workspace buffer: it is
+        valid until the next ``loss_and_grad`` call on this instance.
+        """
         if self.profiler is not None:
             return self._profiled_loss_and_grad(params, features, labels)
         x = features
         for op in self.ops:
             x = op.forward(params, x)
         losses, grad_output = self.loss.value_and_grad(x, labels)
-        grads = np.zeros((params.shape[0], self.dim), dtype=np.float64)
+        grads = self._grads_for(params.shape[0])
         for op in reversed(self.ops):
             grad_output = op.backward(grads, grad_output)
         return losses, grads
@@ -251,7 +635,7 @@ class BatchedModel:
         profiler.add(
             f"kernel.{type(self.loss).__name__}", time.perf_counter() - started
         )
-        grads = np.zeros((params.shape[0], self.dim), dtype=np.float64)
+        grads = self._grads_for(params.shape[0])
         for op in reversed(self.ops):
             started = time.perf_counter()
             grad_output = op.backward(grads, grad_output)
@@ -272,7 +656,8 @@ class BatchedModel:
 
         Chunked along the sample axis with the same sample-weighted
         accumulation as :meth:`LocalProblem.full_loss_and_grad`, so the
-        reduction matches the serial path chunk for chunk.
+        reduction matches the serial path chunk for chunk.  Returns fresh
+        arrays (not the workspace buffer).
         """
         cohort, n = features.shape[0], features.shape[1]
         step = n if batch_size is None or batch_size >= n else batch_size
@@ -305,36 +690,69 @@ def _iter_supported_layers(model: Module) -> Iterator[Module] | None:
     return flat
 
 
-def build_batched_model(model: Module, loss: Loss) -> BatchedModel | None:
+def build_batched_model(
+    model: Module, loss: Loss, backend: Backend | str | None = None
+) -> BatchedModel | None:
     """Compile a model template into a :class:`BatchedModel`.
 
+    Covers the full model zoo — Linear/activation stacks, the im2col
+    convolution + pooling blocks of the paper's CNNs, and dropout.
     Returns ``None`` when the architecture or loss has no batched
-    counterpart (convolutions, pooling, dropout, custom losses) — the
-    caller then falls back to per-client execution.
+    counterpart (custom layers, subclassed losses) — the caller then
+    falls back to per-client execution.
     """
+    from repro.nn.models import _ImageReshape
+
+    resolved = _resolve_backend(backend)
     layers = _iter_supported_layers(model)
-    batched_loss = _batched_loss_for(loss)
+    batched_loss = _batched_loss_for(loss, resolved)
     if layers is None or batched_loss is None:
         return None
     ops: list[_BatchedOp] = []
     offset = 0
-    for layer in layers:
+    for position, layer in enumerate(layers):
         if type(layer) is Linear:
-            ops.append(BatchedLinear(layer.in_features, layer.out_features, offset))
+            ops.append(
+                BatchedLinear(
+                    layer.in_features, layer.out_features, offset, resolved
+                )
+            )
             offset += layer.in_features * layer.out_features + layer.out_features
+        elif type(layer) is Conv2D:
+            ops.append(
+                BatchedConv2D(
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel_size,
+                    layer.stride,
+                    layer.padding,
+                    offset,
+                    resolved,
+                )
+            )
+            offset += (
+                layer.out_channels * layer.in_channels * layer.kernel_size**2
+                + layer.out_channels
+            )
+        elif type(layer) is MaxPool2D:
+            ops.append(BatchedMaxPool2D(layer.kernel_size, layer.stride, resolved))
+        elif type(layer) is _ImageReshape:
+            ops.append(BatchedImageReshape(layer.channels, layer.height, layer.width))
         elif type(layer) is ReLU:
-            ops.append(BatchedReLU())
+            ops.append(BatchedReLU(resolved))
         elif type(layer) is Tanh:
-            ops.append(BatchedTanh())
+            ops.append(BatchedTanh(resolved))
         elif type(layer) is Flatten:
             ops.append(BatchedFlatten())
+        elif type(layer) is Dropout:
+            ops.append(BatchedDropout(layer.rate, position))
         else:
             return None
     if offset != model.num_params:
         # A layer carries parameters the batched packing did not account
         # for; running it stacked would silently train the wrong slices.
         return None
-    return BatchedModel(ops, dim=offset, loss=batched_loss)
+    return BatchedModel(ops, dim=offset, loss=batched_loss, backend=resolved)
 
 
 # --------------------------------------------------------------------------- #
@@ -393,6 +811,22 @@ def _epoch_batches(
     for start in range(0, n, batch_size):
         stop = start + batch_size
         yield shuffled_x[:, start:stop], shuffled_y[:, start:stop]
+
+
+def local_steps_per_round(num_samples: int, config) -> int:
+    """Mini-batch steps one client takes in ``config.epochs`` local epochs.
+
+    Mirrors ``iterate_minibatches``/:func:`_epoch_batches`: full-batch
+    training is one step per epoch, otherwise ``ceil(n / batch_size)``.
+    Cohorts group on ``(n, epochs, batch_size)``, so the count is shared by
+    every member — SCAFFOLD's control-variate refresh divides by it.
+    """
+    batch_size = config.batch_size
+    if batch_size is None or batch_size >= num_samples:
+        per_epoch = 1
+    else:
+        per_epoch = -(-num_samples // batch_size)
+    return config.epochs * per_epoch
 
 
 def batched_run_local_sgd(

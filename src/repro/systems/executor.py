@@ -253,9 +253,45 @@ class VectorizedExecutor(ClientExecutor):
     the shared training stream (sync) or per-task integer seeds
     (async/semisync).  ``isolated`` stays ``False`` for the same reason:
     the sync plan must seed vectorized runs exactly like serial ones.
+
+    Independent cohorts dispatch concurrently through a bounded thread
+    pool (``max_workers``, default ``os.cpu_count()``; NumPy releases the
+    GIL inside the stacked kernels).  Every per-task random draw happens
+    *before* dispatch in task order, client-state mutations are disjoint
+    across cohorts, and outcomes are reassembled in task order afterwards,
+    so results are identical regardless of thread scheduling — the
+    ``atol=1e-8`` golden-parity contract is unchanged.  A single cohort
+    (or ``max_workers=1``) runs inline with no thread overhead.
+
+    Each concurrent cohort executes on its own :class:`BatchedModel` clone
+    drawn from a lock-protected pool that persists across rounds, so the
+    per-cohort-shape gradient/one-hot workspaces are reused round to round
+    instead of reallocated.  The raw array math inside those models routes
+    through the pluggable backend selected at construction (see
+    :mod:`repro.nn.backend`).
     """
 
     isolated = False
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        backend: str | None = None,
+    ):
+        if max_workers is not None and max_workers <= 0:
+            raise ConfigurationError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self.backend = backend
+        self._batched_model = None
+        self._fallback_reason: str | None = None
+        self._model_pool: list[Any] = []
+        self._pool_lock = threading.Lock()
+        self._dispatch_pool: ThreadPoolExecutor | None = None
+        self._data_cache: dict[
+            tuple[int, ...], tuple[np.ndarray, np.ndarray, tuple[int, ...]]
+        ] = {}
 
     def prime(self, problems: list[LocalProblem], algorithm: Any) -> None:
         super().prime(problems, algorithm)
@@ -263,23 +299,78 @@ class VectorizedExecutor(ClientExecutor):
         from repro.obs.runtime import get_obs
 
         self._metrics = get_obs().metrics
+        self._profiler = get_obs().profiler
         self._batched_model = None
+        self._model_pool = []
+        self._data_cache = {}
         if not getattr(algorithm, "supports_batched", False):
+            self._fallback_reason = "algorithm_opt_out"
             return
+        self._fallback_reason = "unbatchable_model"
         template = problems[0]
         if any(problem.dataset.features.ndim != 2 for problem in problems):
             return  # stacked kernels take flat (n, d) features only
-        self._batched_model = build_batched_model(template.model, template.loss)
+        self._batched_model = build_batched_model(
+            template.model, template.loss, backend=self.backend
+        )
         if self._batched_model is not None:
+            self._fallback_reason = None
             # Per-kernel profiling: the batched model times each stacked
             # op's forward/backward when a profiler is active.
-            self._batched_model.profiler = get_obs().profiler
+            self._batched_model.profiler = self._profiler
+            # Seed the reusable execution-context pool with the compiled
+            # template itself; concurrent cohorts clone on demand and the
+            # clones (with their warmed workspaces) live for the run.
+            self._model_pool = [self._batched_model]
 
     @property
     def vectorizes(self) -> bool:
         """Whether primed tasks will actually run through batched kernels."""
         self._require_primed()
         return self._batched_model is not None
+
+    @property
+    def fallback_reason(self) -> str | None:
+        """Why primed tasks fall back to the serial loop (``None`` if none)."""
+        self._require_primed()
+        return self._fallback_reason
+
+    def _acquire_model(self):
+        with self._pool_lock:
+            if self._model_pool:
+                return self._model_pool.pop()
+        return self._batched_model.clone()
+
+    def _release_model(self, model) -> None:
+        with self._pool_lock:
+            self._model_pool.append(model)
+
+    def _stacked_data(
+        self, client_indices: tuple[int, ...], problems: list[LocalProblem]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The cohort's ``(C, n, d)`` feature / ``(C, n)`` label stacks.
+
+        Client datasets are immutable for the life of a simulation, so a
+        recurring cohort composition (e.g. full participation under
+        fixed epochs) pays the per-round stacking cost exactly once.
+        Entries are validated against the identity of the source arrays,
+        so repriming on new problems can never serve stale data; the
+        cache is cleared when ragged compositions (variable-epoch
+        protocols under sampling) stop it from ever hitting.
+        """
+        key = client_indices
+        source_ids = tuple(id(problem.dataset.features) for problem in problems)
+        with self._pool_lock:
+            cached = self._data_cache.get(key)
+        if cached is not None and cached[2] == source_ids:
+            return cached[0], cached[1]
+        features = np.stack([problem.dataset.features for problem in problems])
+        labels = np.stack([problem.dataset.labels for problem in problems])
+        with self._pool_lock:
+            if len(self._data_cache) >= 64:
+                self._data_cache.clear()
+            self._data_cache[key] = (features, labels, source_ids)
+        return features, labels
 
     def _draw_epoch_orders(
         self, tasks: list[LocalUpdateTask]
@@ -307,18 +398,81 @@ class VectorizedExecutor(ClientExecutor):
             )
         return orders
 
+    def _run_cohort(
+        self,
+        positions: list[int],
+        tasks: list[LocalUpdateTask],
+        epoch_orders: list[np.ndarray | None],
+        dropout_seed: int | None,
+    ) -> tuple[list[ClientMessage], float, float]:
+        """Execute one cohort on a pooled model clone (worker-thread safe).
+
+        Everything stochastic (epoch shuffles, the dropout seed) was drawn
+        before dispatch; client-state mutations are confined to this
+        cohort's clients; ``server_state`` and the algorithm are read-only
+        here — so cohorts may run on any thread in any order.
+        """
+        from repro.nn.batched import BatchedCohort
+
+        cohort_tasks = [tasks[position] for position in positions]
+        problems = [self._problems[task.client_index] for task in cohort_tasks]
+        orders = None
+        if epoch_orders[positions[0]] is not None:
+            orders = np.stack(
+                [epoch_orders[position] for position in positions], axis=1
+            )  # (E, C, n)
+        model = self._acquire_model()
+        try:
+            if dropout_seed is not None:
+                model.reseed_dropout(dropout_seed)
+            features, labels = self._stacked_data(
+                tuple(task.client_index for task in cohort_tasks), problems
+            )
+            cohort = BatchedCohort(
+                model=model,
+                features=features,
+                labels=labels,
+                epoch_orders=orders,
+            )
+            lead = cohort_tasks[0]
+            cohort_wall = time.time()
+            cohort_perf = time.perf_counter()
+            messages = self._algorithm.batched_local_update(
+                cohort,
+                [task.client for task in cohort_tasks],
+                lead.global_params,
+                lead.server_state,
+                lead.config,
+                round_index=lead.round_index,
+            )
+            cohort_duration = time.perf_counter() - cohort_perf
+        finally:
+            self._release_model(model)
+        return messages, cohort_wall, cohort_duration
+
     def run_tasks(self, tasks: list[LocalUpdateTask]) -> list[LocalUpdateOutcome]:
         self._require_primed()
         if self._batched_model is None:
             # Opt-out algorithm or unbatchable model: the serial loop,
-            # bit for bit.
+            # bit for bit.  The labelled counter and profiler entry say
+            # *why*, so unexpected serial fallbacks are diagnosable from
+            # `repro profile` / the metrics snapshot.
+            reason = self._fallback_reason or "unbatchable_model"
             if self._metrics is not None and tasks:
-                self._metrics.counter("executor.fallback_tasks").inc(len(tasks))
-            return [
+                self._metrics.counter(f"executor.fallback.{reason}").inc(
+                    len(tasks)
+                )
+            started = time.perf_counter()
+            outcomes = [
                 execute_task(task, self._problems[task.client_index], self._algorithm)
                 for task in tasks
             ]
-        from repro.nn.batched import BatchedCohort
+            if self._profiler is not None and tasks:
+                self._profiler.add(
+                    f"executor.fallback.{reason}",
+                    time.perf_counter() - started,
+                )
+            return outcomes
 
         epoch_orders = self._draw_epoch_orders(tasks)
 
@@ -335,43 +489,57 @@ class VectorizedExecutor(ClientExecutor):
             )
             cohorts.setdefault(key, []).append(position)
 
-        outcomes: list[LocalUpdateOutcome | None] = [None] * len(tasks)
-        for positions in cohorts.values():
-            cohort_tasks = [tasks[position] for position in positions]
-            problems = [
-                self._problems[task.client_index] for task in cohort_tasks
+        # Dropout mask seeds, when the model needs them, are drawn here —
+        # before any dispatch, in deterministic cohort-grouping order —
+        # so results do not depend on which thread runs which cohort.
+        dropout_seeds: dict[int, int | None] = {}
+        for index, positions in enumerate(cohorts.values()):
+            if self._batched_model.has_dropout:
+                lead = tasks[positions[0]]
+                dropout_seeds[index] = int(
+                    as_rng(lead.rng).integers(np.iinfo(np.int64).max)
+                )
+            else:
+                dropout_seeds[index] = None
+
+        position_groups = list(cohorts.values())
+        workers = self.max_workers or os.cpu_count() or 1
+        if len(position_groups) == 1 or workers <= 1:
+            # No concurrency to exploit: run inline, zero thread overhead.
+            results = [
+                self._run_cohort(
+                    positions, tasks, epoch_orders, dropout_seeds[index]
+                )
+                for index, positions in enumerate(position_groups)
             ]
-            orders = None
-            if epoch_orders[positions[0]] is not None:
-                orders = np.stack(
-                    [epoch_orders[position] for position in positions], axis=1
-                )  # (E, C, n)
-            cohort = BatchedCohort(
-                model=self._batched_model,
-                features=np.stack([p.dataset.features for p in problems]),
-                labels=np.stack([p.dataset.labels for p in problems]),
-                epoch_orders=orders,
+        else:
+            if self._dispatch_pool is None:
+                self._dispatch_pool = ThreadPoolExecutor(
+                    max_workers=min(workers, len(position_groups)),
+                    thread_name_prefix="repro-cohort",
+                )
+            results = list(
+                self._dispatch_pool.map(
+                    lambda item: self._run_cohort(
+                        item[1], tasks, epoch_orders, dropout_seeds[item[0]]
+                    ),
+                    enumerate(position_groups),
+                )
             )
-            lead = cohort_tasks[0]
-            cohort_wall = time.time()
-            cohort_perf = time.perf_counter()
-            messages = self._algorithm.batched_local_update(
-                cohort,
-                [task.client for task in cohort_tasks],
-                lead.global_params,
-                lead.server_state,
-                lead.config,
-                round_index=lead.round_index,
-            )
-            cohort_duration = time.perf_counter() - cohort_perf
+
+        # Reassembly — and all metrics/trace bookkeeping — happens back on
+        # the calling thread, in task order.
+        outcomes: list[LocalUpdateOutcome | None] = [None] * len(tasks)
+        for positions, (messages, cohort_wall, cohort_duration) in zip(
+            position_groups, results
+        ):
             if self._metrics is not None:
                 self._metrics.counter("executor.batched_tasks").inc(len(positions))
                 self._metrics.histogram("executor.cohort_size").observe(
                     len(positions)
                 )
-            for position, task, message in zip(
-                positions, cohort_tasks, messages
-            ):
+            for position, message in zip(positions, messages):
+                task = tasks[position]
                 spans: tuple[SpanRecord, ...] = ()
                 if task.trace:
                     # One client_task span per task sharing the cohort's
@@ -390,6 +558,11 @@ class VectorizedExecutor(ClientExecutor):
                     message=message, client=task.client, spans=spans
                 )
         return outcomes
+
+    def close(self) -> None:
+        if self._dispatch_pool is not None:
+            self._dispatch_pool.shutdown(wait=True)
+            self._dispatch_pool = None
 
 
 class _PoolExecutor(ClientExecutor):
@@ -476,15 +649,28 @@ EXECUTOR_REGISTRY: dict[str, type[ClientExecutor]] = {
 }
 
 
-def build_executor(name: str, max_workers: int | None = None) -> ClientExecutor:
-    """Instantiate a client executor by registry name."""
+def build_executor(
+    name: str,
+    max_workers: int | None = None,
+    backend: str | None = None,
+) -> ClientExecutor:
+    """Instantiate a client executor by registry name.
+
+    ``max_workers`` bounds the worker pool of every concurrent executor
+    (threads, processes, and the vectorized executor's cohort dispatch);
+    ``backend`` selects the array backend for the vectorized executor's
+    stacked kernels (see :mod:`repro.nn.backend`) and is ignored by the
+    per-task executors, which always run the serial NumPy model code.
+    """
     try:
         executor_cls = EXECUTOR_REGISTRY[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown executor {name!r}; available: {sorted(EXECUTOR_REGISTRY)}"
         ) from None
-    if executor_cls in (SerialExecutor, VectorizedExecutor):
-        # In-process executors: max_workers has nothing to configure.
+    if executor_cls is SerialExecutor:
+        # Strictly in-order, in-thread: nothing to configure.
         return executor_cls()
+    if executor_cls is VectorizedExecutor:
+        return executor_cls(max_workers=max_workers, backend=backend)
     return executor_cls(max_workers=max_workers)

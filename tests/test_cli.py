@@ -258,6 +258,17 @@ class TestCliOrchestration:
         assert main(self.TABLE4 + ["--jobs", "0"]) == 2
         assert "jobs must be positive" in capsys.readouterr().err
 
+    def test_unimportable_backend_fails_fast(self, capsys):
+        # A registered-but-unimportable backend dies before any sweep
+        # point runs, with one clear line (not a per-spec failure pile).
+        try:
+            import torch  # noqa: F401
+        except ImportError:
+            assert main(self.TABLE4 + ["--backend", "torch"]) == 2
+            assert "torch" in capsys.readouterr().err
+        else:  # pragma: no cover - only on machines with torch
+            pytest.skip("torch installed; the guard does not trip")
+
 
 class TestCliObservability:
     TABLE4 = ["table4", "--dataset", "blobs", "--clients", "8", "--rounds", "2",

@@ -17,9 +17,19 @@ from repro.nn.batched import (
     batched_run_local_sgd,
     build_batched_model,
 )
-from repro.nn.layers import Conv2D, Dropout, Flatten, Linear, Sequential, Tanh
+from repro.nn.layers import (
+    Conv2D,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Tanh,
+)
 from repro.nn.losses import CrossEntropyLoss, MSELoss
-from repro.nn.models import MLP, LogisticRegression
+from repro.nn.models import MLP, LogisticRegression, SmallCNN, _ImageReshape
+from repro.nn.module import Module
 
 
 def make_template(rng):
@@ -147,12 +157,26 @@ class TestCompilationRules:
     def test_non_sequential_module_is_rejected(self):
         assert build_batched_model(Linear(3, 2), CrossEntropyLoss()) is None
 
-    def test_convolutional_model_is_rejected(self):
-        model = Sequential(Conv2D(1, 2, kernel_size=3), Flatten())
-        assert build_batched_model(model, CrossEntropyLoss()) is None
+    def test_convolutional_model_compiles(self):
+        rng = np.random.default_rng(0)
+        model = SmallCNN(rng=rng, channels=1, image_size=8,
+                         conv_channels=(2, 3), hidden=5, num_classes=2)
+        batched = build_batched_model(model, CrossEntropyLoss())
+        assert batched is not None
+        assert batched.dim == model.num_params
 
-    def test_dropout_is_rejected(self):
+    def test_dropout_model_compiles(self):
         model = Sequential(Linear(4, 3), Dropout(0.5), Linear(3, 2))
+        batched = build_batched_model(model, CrossEntropyLoss())
+        assert batched is not None
+        assert batched.has_dropout
+
+    def test_custom_layer_is_rejected(self):
+        class Scaler(Module):
+            def forward(self, x):  # pragma: no cover - never run
+                return 2.0 * x
+
+        model = Sequential(Linear(4, 3), Scaler(), Linear(3, 2))
         assert build_batched_model(model, CrossEntropyLoss()) is None
 
     def test_loss_subclass_is_rejected(self):
@@ -180,3 +204,193 @@ class TestCompilationRules:
             batched.loss_and_grad(
                 params, np.zeros((2, 5, 7)), np.zeros((2, 5), dtype=np.int64)
             )
+
+
+class TestConvKernels:
+    """The im2col conv/pool stack against the serial layers, per client."""
+
+    def test_conv_pool_stack_matches_serial_per_client(self):
+        rng = np.random.default_rng(4)
+        model = Sequential(
+            _ImageReshape(1, 6, 6),
+            Conv2D(1, 2, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(2 * 3 * 3, 3, rng=rng),
+        )
+        loss = CrossEntropyLoss()
+        batched = build_batched_model(model, loss)
+        assert batched is not None and batched.dim == model.num_params
+
+        cohort_size, n = 3, 5
+        features = rng.normal(size=(cohort_size, n, 36))
+        labels = rng.integers(0, 3, size=(cohort_size, n))
+        params = 0.3 * rng.normal(size=(cohort_size, model.num_params))
+
+        losses, grads = batched.loss_and_grad(params, features, labels)
+        for c in range(cohort_size):
+            value, grad = serial_loss_and_grad(
+                model, loss, params[c], features[c], labels[c]
+            )
+            assert abs(losses[c] - value) < 1e-10
+            np.testing.assert_allclose(grads[c], grad, atol=1e-10, rtol=0)
+
+    def test_small_cnn_matches_serial_per_client(self):
+        rng = np.random.default_rng(5)
+        model = SmallCNN(rng=rng, channels=1, image_size=8,
+                         conv_channels=(2, 3), hidden=6, num_classes=3)
+        loss = CrossEntropyLoss()
+        batched = build_batched_model(model, loss)
+        assert batched is not None
+
+        cohort_size, n = 2, 4
+        features = rng.normal(size=(cohort_size, n, 64))
+        labels = rng.integers(0, 3, size=(cohort_size, n))
+        params = 0.3 * rng.normal(size=(cohort_size, model.num_params))
+
+        losses, grads = batched.loss_and_grad(params, features, labels)
+        for c in range(cohort_size):
+            value, grad = serial_loss_and_grad(
+                model, loss, params[c], features[c], labels[c]
+            )
+            assert abs(losses[c] - value) < 1e-10
+            np.testing.assert_allclose(grads[c], grad, atol=1e-10, rtol=0)
+
+    def test_strided_unpadded_conv_matches_serial(self):
+        rng = np.random.default_rng(6)
+        model = Sequential(
+            _ImageReshape(2, 5, 5),
+            Conv2D(2, 3, kernel_size=3, stride=2, padding=0, rng=rng),
+            Flatten(),
+            Linear(3 * 2 * 2, 2, rng=rng),
+        )
+        loss = MSELoss()
+        batched = build_batched_model(model, loss)
+        assert batched is not None
+
+        features = rng.normal(size=(2, 3, 50))
+        targets = rng.normal(size=(2, 3, 2))
+        params = 0.3 * rng.normal(size=(2, model.num_params))
+        losses, grads = batched.loss_and_grad(params, features, targets)
+        for c in range(2):
+            value, grad = serial_loss_and_grad(
+                model, loss, params[c], features[c], targets[c]
+            )
+            assert abs(losses[c] - value) < 1e-10
+            np.testing.assert_allclose(grads[c], grad, atol=1e-10, rtol=0)
+
+
+class TestBatchedDropout:
+    def _template(self, rate=0.5):
+        rng = np.random.default_rng(7)
+        return Sequential(
+            Linear(6, 5, rng=rng), Dropout(rate), Linear(5, 3, rng=rng)
+        )
+
+    def test_reseeded_clones_are_deterministic(self):
+        batched = build_batched_model(self._template(), CrossEntropyLoss())
+        rng = np.random.default_rng(8)
+        features = rng.normal(size=(3, 9, 6))
+        labels = rng.integers(0, 3, size=(3, 9))
+        params = rng.normal(size=(3, batched.dim))
+
+        a, b = batched.clone(), batched.clone()
+        a.reseed_dropout(123)
+        b.reseed_dropout(123)
+        losses_a, grads_a = a.loss_and_grad(params, features, labels)
+        losses_b, grads_b = b.loss_and_grad(params, features, labels)
+        np.testing.assert_array_equal(losses_a, losses_b)
+        np.testing.assert_array_equal(grads_a, grads_b)
+
+        # A different seed draws different masks.
+        c = batched.clone()
+        c.reseed_dropout(124)
+        losses_c, _ = c.loss_and_grad(params, features, labels)
+        assert not np.array_equal(losses_a, losses_c)
+
+    def test_masks_differ_per_client(self):
+        batched = build_batched_model(self._template(), CrossEntropyLoss())
+        batched.reseed_dropout(0)
+        rng = np.random.default_rng(9)
+        # Identical params/features for every client: any per-client output
+        # difference can only come from per-client dropout masks.
+        features = np.broadcast_to(rng.normal(size=(1, 8, 6)), (4, 8, 6)).copy()
+        labels = np.broadcast_to(rng.integers(0, 3, size=(1, 8)), (4, 8)).copy()
+        params = np.broadcast_to(rng.normal(size=batched.dim), (4, batched.dim)).copy()
+        losses, _ = batched.loss_and_grad(params, features, labels)
+        assert len(np.unique(losses)) > 1
+
+    def test_eval_mode_matches_serial_model(self):
+        template = self._template()
+        batched = build_batched_model(template, CrossEntropyLoss()).eval()
+        template.eval()
+        rng = np.random.default_rng(10)
+        features = rng.normal(size=(2, 7, 6))
+        labels = rng.integers(0, 3, size=(2, 7))
+        params = rng.normal(size=(2, batched.dim))
+        losses, grads = batched.loss_and_grad(params, features, labels)
+        for c in range(2):
+            value, grad = serial_loss_and_grad(
+                template, CrossEntropyLoss(), params[c], features[c], labels[c]
+            )
+            assert abs(losses[c] - value) < 1e-10
+            np.testing.assert_allclose(grads[c], grad, atol=1e-10, rtol=0)
+
+
+class TestWorkspaceReuse:
+    """The reused (C, dim) gradient buffer must never corrupt results."""
+
+    def _setup(self):
+        rng = np.random.default_rng(11)
+        model = MLP(input_dim=6, hidden_dims=(5,), num_classes=3, rng=rng)
+        batched = build_batched_model(model, CrossEntropyLoss())
+        make = lambda seed: (  # noqa: E731 - tiny local factory
+            np.random.default_rng(seed).normal(size=(3, 8, 6)),
+            np.random.default_rng(seed + 1).integers(0, 3, size=(3, 8)),
+            np.random.default_rng(seed + 2).normal(size=(3, model.num_params)),
+        )
+        return batched, make
+
+    def test_sequential_cohorts_share_the_buffer_without_corruption(self):
+        batched, make = self._setup()
+        xa, ya, pa = make(0)
+        xb, yb, pb = make(100)
+
+        _, grads_a = batched.loss_and_grad(pa, xa, ya)
+        saved_a = grads_a.copy()
+        _, grads_b = batched.loss_and_grad(pb, xb, yb)
+
+        # Same cohort size -> the very same workspace buffer, now holding
+        # cohort B's gradients (the documented ownership contract).
+        assert grads_b is grads_a
+
+        fresh = batched.clone()
+        _, ref_a = fresh.loss_and_grad(pa, xa, ya)
+        np.testing.assert_allclose(saved_a, ref_a, atol=0, rtol=0)
+        fresh_b = batched.clone()
+        _, ref_b = fresh_b.loss_and_grad(pb, xb, yb)
+        # B computed into A's dirty (unzeroed) buffer must equal B computed
+        # into a fresh buffer: every backward assigns its full slice.
+        np.testing.assert_allclose(grads_b, ref_b, atol=0, rtol=0)
+
+    def test_clones_have_independent_workspaces(self):
+        batched, make = self._setup()
+        a, b = batched.clone(), batched.clone()
+        xa, ya, pa = make(0)
+        xb, yb, pb = make(100)
+        _, grads_a = a.loss_and_grad(pa, xa, ya)
+        _, grads_b = b.loss_and_grad(pb, xb, yb)
+        assert grads_a is not grads_b
+        # a's buffer still holds a's result after b ran.
+        _, ref_a = batched.clone().loss_and_grad(pa, xa, ya)
+        np.testing.assert_allclose(grads_a, ref_a, atol=0, rtol=0)
+
+    def test_distinct_cohort_sizes_get_distinct_buffers(self):
+        batched, make = self._setup()
+        xa, ya, pa = make(0)
+        _, grads_small = batched.loss_and_grad(pa[:2], xa[:2], ya[:2])
+        _, grads_full = batched.loss_and_grad(pa, xa, ya)
+        assert grads_small.shape == (2, batched.dim)
+        assert grads_full.shape == (3, batched.dim)
+        assert grads_small is not grads_full

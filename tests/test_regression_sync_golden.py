@@ -264,3 +264,113 @@ class TestVectorizedGoldenParity:
         # Accounting is integer bookkeeping: no tolerance applies.
         assert vectorized_result.ledger.upload_floats == GOLDEN_UPLOAD_FLOATS
         assert vectorized_result.ledger.download_floats == GOLDEN_DOWNLOAD_FLOATS
+
+
+# --------------------------------------------------------------------------- #
+# SCAFFOLD / FedPD goldens (pinned when they gained batched kernels)
+# --------------------------------------------------------------------------- #
+# The same recipe as run_seed_recipe with the algorithm swapped; the values
+# were generated on the serial executor at the commit that introduced
+# batched_local_update for these algorithms, so any later change to either
+# the serial or the stacked path fails against the same pin.
+SCAFFOLD_GOLDEN_ACCURACIES = [0.68125, 0.9375, 0.93125, 1.0, 1.0, 0.94375]
+SCAFFOLD_GOLDEN_FINAL_LOSS = 0.15881199907710095
+SCAFFOLD_GOLDEN_PARAMS_SHA256 = (
+    "6acd6ca90ec0f26611663db186e9a8519b0bb1f06cd1cf06bf1e80e4915e00b5"
+)
+SCAFFOLD_GOLDEN_UPLOAD_FLOATS = 3312  # double upload: params + control deltas
+FEDPD_GOLDEN_ACCURACIES = [0.6125, 0.50625, 0.725, 0.75, 0.525, 0.55]
+FEDPD_GOLDEN_FINAL_LOSS = 1.858001347728465
+FEDPD_GOLDEN_PARAMS_SHA256 = (
+    "9c0d94bac8f24c6f66f8059d5d0bc90bd7e656eb94d0767e3586f048813b81d6"
+)
+FEDPD_GOLDEN_UPLOAD_FLOATS = 1656
+
+ALGORITHM_GOLDENS = {
+    "scaffold": (
+        {}, SCAFFOLD_GOLDEN_ACCURACIES, SCAFFOLD_GOLDEN_FINAL_LOSS,
+        SCAFFOLD_GOLDEN_PARAMS_SHA256, SCAFFOLD_GOLDEN_UPLOAD_FLOATS,
+    ),
+    "fedpd": (
+        {"rho": 0.3}, FEDPD_GOLDEN_ACCURACIES, FEDPD_GOLDEN_FINAL_LOSS,
+        FEDPD_GOLDEN_PARAMS_SHA256, FEDPD_GOLDEN_UPLOAD_FLOATS,
+    ),
+}
+
+
+def run_algorithm_recipe(algorithm_name, executor=None):
+    """run_seed_recipe with the algorithm swapped (same data/model/seeds)."""
+    kwargs = ALGORITHM_GOLDENS[algorithm_name][0]
+    split = make_blobs(
+        n_train=480, n_test=160, num_classes=4, feature_dim=12,
+        separation=2.5, noise_std=0.8, rng=0,
+    )
+    partition = ShardPartitioner(shards_per_client=2).partition(
+        split.train, num_clients=8, rng=0
+    )
+    clients = build_clients(split.train, partition)
+    model = MLP(
+        input_dim=12, hidden_dims=(16,), num_classes=4,
+        rng=np.random.default_rng(7),
+    )
+    simulation = FederatedSimulation(
+        algorithm=build_algorithm(algorithm_name, **kwargs),
+        model=model,
+        clients=clients,
+        test_dataset=split.test,
+        batch_size=16,
+        learning_rate=0.1,
+        seed=11,
+        eval_every=1,
+        executor=executor,
+    )
+    return simulation.run(6, target_accuracy=None)
+
+
+class TestScaffoldFedPDGoldens:
+    """Serial pins and vectorized atol=1e-8 parity for the new batched pair."""
+
+    @pytest.fixture(scope="class", params=["scaffold", "fedpd"])
+    def algorithm_runs(self, request):
+        from repro.systems.executor import VectorizedExecutor
+
+        name = request.param
+        serial = run_algorithm_recipe(name)
+        vectorized = run_algorithm_recipe(name, executor=VectorizedExecutor())
+        return name, serial, vectorized
+
+    def test_serial_matches_pinned_goldens(self, algorithm_runs):
+        name, serial, _ = algorithm_runs
+        _, accuracies, final_loss, sha, upload = ALGORITHM_GOLDENS[name]
+        assert [r.test_accuracy for r in serial.history.records] == accuracies
+        assert abs(serial.final_evaluation.loss - final_loss) < 1e-8
+        digest = hashlib.sha256(serial.final_params.tobytes()).hexdigest()
+        assert digest == sha
+        assert serial.ledger.upload_floats == upload
+
+    def test_vectorized_accuracies_identical(self, algorithm_runs):
+        name, _, vectorized = algorithm_runs
+        _, accuracies, _, _, _ = ALGORITHM_GOLDENS[name]
+        assert [
+            r.test_accuracy for r in vectorized.history.records
+        ] == accuracies
+
+    def test_vectorized_history_and_params_within_tolerance(self, algorithm_runs):
+        _, serial, vectorized = algorithm_runs
+        np.testing.assert_allclose(
+            np.array([r.train_loss for r in vectorized.history.records]),
+            np.array([r.train_loss for r in serial.history.records]),
+            atol=1e-8, rtol=0,
+        )
+        np.testing.assert_allclose(
+            vectorized.final_params, serial.final_params, atol=1e-8, rtol=0
+        )
+        assert abs(
+            vectorized.final_evaluation.loss - serial.final_evaluation.loss
+        ) < 1e-8
+
+    def test_communication_totals_exact(self, algorithm_runs):
+        name, serial, vectorized = algorithm_runs
+        _, _, _, _, upload = ALGORITHM_GOLDENS[name]
+        assert vectorized.ledger.upload_floats == upload
+        assert vectorized.ledger.download_floats == serial.ledger.download_floats

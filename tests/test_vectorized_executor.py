@@ -11,8 +11,11 @@ and ``repro.nn.batched``):
   integer seeds (async/semisync);
 * ragged client datasets land in separate cohorts and still match;
 * a cohort of size one runs through the batched kernels and matches;
-* opt-out algorithms (SCAFFOLD) and unbatchable models (CNNs) fall back
-  to the serial per-task loop bit for bit.
+* results are identical regardless of ``max_workers`` (parallel cohort
+  dispatch reassembles in task order, with every draw made pre-dispatch);
+* opt-out algorithms and genuinely unbatchable pieces (subclassed losses,
+  custom layers) fall back to the serial per-task loop bit for bit, with
+  the reason recorded in the labelled fallback counters.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms import build_algorithm
+from repro.algorithms import FedAvg, build_algorithm
 from repro.algorithms.base import LocalTrainingConfig
 from repro.datasets.base import Dataset
 from repro.datasets.synthetic import make_blobs
@@ -31,6 +34,7 @@ from repro.federated.local_problem import LocalProblem
 from repro.federated.sampler import UniformFractionSampler
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import MLP, SmallCNN
+from repro.obs import MetricsRegistry, observe
 from repro.systems.executor import (
     LocalUpdateTask,
     SerialExecutor,
@@ -66,7 +70,10 @@ def run_simulation(algorithm_name, executor, sizes, *, batch_size=5,
     split, clients = make_ragged_clients(sizes, seed=3)
     model = MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
                 rng=np.random.default_rng(5))
-    algorithm = build_algorithm(algorithm_name, **(algorithm_kwargs or {}))
+    if isinstance(algorithm_name, str):
+        algorithm = build_algorithm(algorithm_name, **(algorithm_kwargs or {}))
+    else:
+        algorithm = algorithm_name  # a pre-built instance
     simulation = FederatedSimulation(
         algorithm=algorithm,
         model=model,
@@ -98,8 +105,23 @@ def assert_histories_match(serial, vectorized, atol=ATOL):
     )
 
 
-BATCHED_ALGORITHMS = ["fedavg", "fedprox", "fedsgd", "fedadmm"]
-ALGO_KWARGS = {"fedprox": {"rho": 0.1}, "fedadmm": {"rho": 0.3}}
+BATCHED_ALGORITHMS = ["fedavg", "fedprox", "fedsgd", "fedadmm", "scaffold",
+                      "fedpd"]
+ALGO_KWARGS = {"fedprox": {"rho": 0.1}, "fedadmm": {"rho": 0.3},
+               "fedpd": {"rho": 0.1}}
+
+
+class OptOutFedAvg(FedAvg):
+    """FedAvg with batching explicitly disabled (exercises the opt-out path)."""
+
+    supports_batched = False
+
+
+class TweakedCrossEntropy(CrossEntropyLoss):
+    """A loss *subclass*: unbatchable by the exact-type compilation rule."""
+
+    def value_and_grad(self, predictions, targets):
+        return super().value_and_grad(predictions, targets)
 
 
 class TestSerialEquivalence:
@@ -152,11 +174,11 @@ class TestSerialEquivalence:
 
 class TestFallback:
     def test_opt_out_algorithm_is_bit_identical_to_serial(self):
-        # SCAFFOLD opts out of batching; the vectorized executor must run
-        # its per-task serial loop, making the histories *exactly* equal.
+        # An algorithm that opts out of batching must run the per-task
+        # serial loop, making the histories *exactly* equal.
         sizes = [16] * 5
-        serial = run_simulation("scaffold", SerialExecutor(), sizes)
-        vectorized = run_simulation("scaffold", VectorizedExecutor(), sizes)
+        serial = run_simulation(OptOutFedAvg(), SerialExecutor(), sizes)
+        vectorized = run_simulation(OptOutFedAvg(), VectorizedExecutor(), sizes)
         assert serial.history.records == vectorized.history.records
         np.testing.assert_array_equal(
             serial.final_params, vectorized.final_params
@@ -174,14 +196,33 @@ class TestFallback:
             for client in clients
         ]
         executor = VectorizedExecutor()
-        executor.prime(problems, build_algorithm("scaffold"))
+        executor.prime(problems, OptOutFedAvg())
         assert not executor.vectorizes
+        assert executor.fallback_reason == "algorithm_opt_out"
         executor.prime(problems, build_algorithm("fedavg"))
         assert executor.vectorizes
+        assert executor.fallback_reason is None
 
-    def test_unbatchable_model_falls_back_bit_identically(self):
-        # Convolutions have no stacked kernels: prime() must detect this
-        # and the run must equal serial exactly.
+    def test_formerly_opted_out_algorithms_now_vectorize(self):
+        split, clients = make_ragged_clients([10, 10])
+        problems = [
+            LocalProblem(
+                model=MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                          rng=np.random.default_rng(0)),
+                loss=CrossEntropyLoss(),
+                dataset=client.dataset,
+            )
+            for client in clients
+        ]
+        executor = VectorizedExecutor()
+        for name in ("scaffold", "fedpd"):
+            executor.prime(problems, build_algorithm(name))
+            assert executor.vectorizes, name
+            assert executor.fallback_reason is None
+
+    def test_unbatchable_loss_falls_back_bit_identically(self):
+        # A subclassed loss has no stacked counterpart (exact-type rule):
+        # prime() must detect this and the run must equal serial exactly.
         split = make_blobs(n_train=60, n_test=20, num_classes=3,
                            feature_dim=16, rng=0)
         clients = [
@@ -196,9 +237,8 @@ class TestFallback:
         ]
 
         def run(executor):
-            model = SmallCNN(rng=np.random.default_rng(1), channels=1,
-                             image_size=4, num_classes=3,
-                             conv_channels=(2, 2), hidden=8)
+            model = MLP(input_dim=16, hidden_dims=(8,), num_classes=3,
+                        rng=np.random.default_rng(1))
             fresh = [
                 ClientState(client_id=c.client_id, dataset=c.dataset)
                 for c in clients
@@ -206,6 +246,7 @@ class TestFallback:
             simulation = FederatedSimulation(
                 algorithm=build_algorithm("fedavg"),
                 model=model,
+                loss=TweakedCrossEntropy(),
                 clients=fresh,
                 test_dataset=split.test,
                 sampler=UniformFractionSampler(1.0),
@@ -221,6 +262,66 @@ class TestFallback:
         np.testing.assert_array_equal(
             serial.final_params, vectorized.final_params
         )
+
+    def test_fallback_counters_are_labelled_by_reason(self):
+        split, clients = make_ragged_clients([10, 10])
+        mlp_problems = [
+            LocalProblem(
+                model=MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                          rng=np.random.default_rng(0)),
+                loss=CrossEntropyLoss(),
+                dataset=client.dataset,
+            )
+            for client in clients
+        ]
+        unbatchable_problems = [
+            LocalProblem(
+                model=MLP(input_dim=12, hidden_dims=(8,), num_classes=4,
+                          rng=np.random.default_rng(0)),
+                loss=TweakedCrossEntropy(),
+                dataset=client.dataset,
+            )
+            for client in clients
+        ]
+        params = mlp_problems[0].model.get_flat_params()
+
+        def tasks_for(problems):
+            return [
+                LocalUpdateTask(
+                    client_index=i,
+                    client=clients[i],
+                    global_params=params,
+                    server_state={},
+                    config=LocalTrainingConfig(
+                        epochs=1, batch_size=5, learning_rate=0.1
+                    ),
+                    round_index=0,
+                    rng=100 + i,
+                )
+                for i in range(len(problems))
+            ]
+
+        metrics = MetricsRegistry()
+        with observe(metrics=metrics):
+            executor = VectorizedExecutor()
+            executor.prime(mlp_problems, OptOutFedAvg())
+            executor.run_tasks(tasks_for(mlp_problems))
+            executor.prime(unbatchable_problems, build_algorithm("fedavg"))
+            executor.run_tasks(tasks_for(unbatchable_problems))
+        counters = metrics.snapshot()["counters"]
+        assert counters["executor.fallback.algorithm_opt_out"] == 2
+        assert counters["executor.fallback.unbatchable_model"] == 2
+
+    def test_batched_run_increments_no_fallback_counters(self):
+        # SCAFFOLD end to end under the vectorized executor: every task
+        # must run batched, with zero fallback counter increments.
+        metrics = MetricsRegistry()
+        with observe(metrics=metrics):
+            run_simulation("scaffold", VectorizedExecutor(), [16] * 5)
+        counters = metrics.snapshot()["counters"]
+        assert not any(name.startswith("executor.fallback.")
+                       for name in counters)
+        assert counters["executor.batched_tasks"] > 0
 
 
 class TestBufferedPlans:
@@ -352,8 +453,150 @@ class TestCohortMechanics:
 
     def test_build_executor_registry_entry(self):
         assert isinstance(build_executor("vectorized"), VectorizedExecutor)
-        # max_workers is meaningless for the in-process stacked executor
-        # but must not crash the shared CLI flag path.
-        assert isinstance(
-            build_executor("vectorized", max_workers=4), VectorizedExecutor
+        executor = build_executor("vectorized", max_workers=4, backend="numpy")
+        assert isinstance(executor, VectorizedExecutor)
+        assert executor.max_workers == 4
+        assert executor.backend == "numpy"
+        # Per-task executors ignore the backend (they run serial model code).
+        assert build_executor("thread", max_workers=2, backend="numpy") is not None
+
+    def test_invalid_max_workers_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            VectorizedExecutor(max_workers=0)
+
+    def test_stacked_data_is_cached_across_rounds(self):
+        # Client datasets are immutable for a simulation, so a recurring
+        # cohort composition must reuse its (C, n, d) stack rather than
+        # re-stacking every round — and the cached arrays must be the
+        # exact bytes a fresh stack would produce.
+        sizes = [10, 10, 10]
+        executor, clients, params = self._prime(sizes)
+        problems = executor._problems
+        key = (0, 1, 2)
+        features_a, labels_a = executor._stacked_data(key, problems)
+        features_b, labels_b = executor._stacked_data(key, problems)
+        assert features_b is features_a and labels_b is labels_a
+        np.testing.assert_array_equal(
+            features_a, np.stack([p.dataset.features for p in problems])
         )
+        np.testing.assert_array_equal(
+            labels_a, np.stack([p.dataset.labels for p in problems])
+        )
+        # A different composition is a different cache entry.
+        reordered, _ = executor._stacked_data((2, 1, 0), problems[::-1])
+        assert reordered is not features_a
+        np.testing.assert_array_equal(reordered, features_a[::-1])
+        # Repriming (new problem objects, fresh arrays) must never serve
+        # a stale stack: the entry is validated by source-array identity.
+        executor.prime(
+            [
+                LocalProblem(
+                    model=p.model,
+                    loss=p.loss,
+                    dataset=Dataset(
+                        features=p.dataset.features.copy(),
+                        labels=p.dataset.labels.copy(),
+                        name=p.dataset.name,
+                    ),
+                )
+                for p in problems
+            ],
+            executor._algorithm,
+        )
+        features_c, _ = executor._stacked_data(key, executor._problems)
+        assert features_c is not features_a
+        np.testing.assert_array_equal(features_c, features_a)
+
+
+class TestParallelDispatch:
+    """Cohorts dispatched across worker threads: same results, any schedule."""
+
+    @pytest.mark.parametrize("name", ["fedadmm", "scaffold"])
+    def test_parallel_cohorts_match_serial(self, name):
+        # Ragged sizes + variable seeds -> several cohorts per round, run
+        # concurrently; results must still match serial within tolerance.
+        sizes = [8, 8, 13, 21, 21, 34, 5, 13]
+        serial = run_simulation(name, SerialExecutor(), sizes,
+                                algorithm_kwargs=ALGO_KWARGS.get(name))
+        parallel = run_simulation(
+            name, VectorizedExecutor(max_workers=4), sizes,
+            algorithm_kwargs=ALGO_KWARGS.get(name),
+        )
+        assert_histories_match(serial, parallel)
+
+    def test_parallel_equals_inline_bitwise(self):
+        # max_workers=1 (inline) and max_workers=4 (threaded) must produce
+        # bit-identical results: every random draw happens pre-dispatch.
+        sizes = [10, 20, 10, 20, 10, 20]
+        inline = run_simulation("fedavg", VectorizedExecutor(max_workers=1),
+                                sizes)
+        threaded = run_simulation("fedavg", VectorizedExecutor(max_workers=4),
+                                  sizes)
+        assert inline.history.records == threaded.history.records
+        np.testing.assert_array_equal(
+            inline.final_params, threaded.final_params
+        )
+
+    def test_explicit_numpy_backend_is_bit_identical(self):
+        sizes = [16] * 4
+        default = run_simulation("fedadmm", VectorizedExecutor(), sizes,
+                                 algorithm_kwargs={"rho": 0.3})
+        explicit = run_simulation(
+            "fedadmm", VectorizedExecutor(backend="numpy"), sizes,
+            algorithm_kwargs={"rho": 0.3},
+        )
+        assert default.history.records == explicit.history.records
+        np.testing.assert_array_equal(
+            default.final_params, explicit.final_params
+        )
+
+
+class TestConvModels:
+    """The CNN zoo now vectorizes (im2col conv/pool stacked kernels)."""
+
+    def test_small_cnn_vectorizes_and_matches_serial(self):
+        split = make_blobs(n_train=48, n_test=24, num_classes=3,
+                           feature_dim=16, rng=0)
+        clients = [
+            ClientState(
+                client_id=i,
+                dataset=Dataset(
+                    features=split.train.features[i * 16:(i + 1) * 16],
+                    labels=split.train.labels[i * 16:(i + 1) * 16],
+                ),
+            )
+            for i in range(3)
+        ]
+
+        def run(executor):
+            model = SmallCNN(rng=np.random.default_rng(1), channels=1,
+                             image_size=4, num_classes=3,
+                             conv_channels=(2, 2), hidden=8)
+            fresh = [
+                ClientState(client_id=c.client_id, dataset=c.dataset)
+                for c in clients
+            ]
+            simulation = FederatedSimulation(
+                algorithm=build_algorithm("fedavg"),
+                model=model,
+                clients=fresh,
+                test_dataset=split.test,
+                sampler=UniformFractionSampler(1.0),
+                batch_size=8,
+                learning_rate=0.05,
+                seed=7,
+                executor=executor,
+            )
+            return simulation.run(2, target_accuracy=None)
+
+        metrics = MetricsRegistry()
+        with observe(metrics=metrics):
+            vectorized = run(VectorizedExecutor())
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("executor.batched_tasks", 0) > 0
+        assert not any(name.startswith("executor.fallback.")
+                       for name in counters)
+        serial = run(SerialExecutor())
+        assert_histories_match(serial, vectorized)

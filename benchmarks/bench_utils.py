@@ -109,9 +109,11 @@ def metric_direction(key: str) -> str | None:
     patterns win ties because ``seconds_to_target``-style metrics are
     durations however the name continues.
     """
-    if "seconds" in key or "rounds_to_target" in key:
+    if "seconds" in key or "rounds_to_target" in key or "latency" in key:
         return "lower"
     if "speedup" in key or "accurac" in key:
+        return "higher"
+    if "per_sec" in key or "throughput" in key:
         return "higher"
     return None
 

@@ -14,6 +14,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli runs show <key> --store-dir runs/
     python -m repro.cli runs clean --store-dir runs/
 
+    # The networked runtime (see repro.serve and docs/tutorials/serving.md)
+    python -m repro.cli serve --rounds 5 --workers 2
+    python -m repro.cli worker http://127.0.0.1:8765
+    python -m repro.cli loadtest --budget 10 --workers 4
+
 Every study subcommand is generated from the declarative
 :data:`~repro.experiments.studies.STUDIES` registry: one subcommand per
 registered study, each carrying the shared flag groups (scale, systems
@@ -31,7 +36,7 @@ import sys
 import time
 from typing import Any
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ProtocolError
 from repro.experiments.orchestrator import SpecEvent, SweepOrchestrator
 from repro.experiments.registry import StudyRequest
 from repro.experiments.store import ExperimentStore, RunStatus
@@ -191,7 +196,83 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="list: only these statuses; "
                            "clean: drop these statuses "
                            "(default: pending/running/failed)")
+    _add_serve_parsers(subparsers)
     return parser
+
+
+def _add_serve_parsers(subparsers) -> None:
+    """The networked-runtime subcommands (see repro.serve)."""
+    from repro.algorithms import ALGORITHM_REGISTRY
+
+    def add_scenario_flags(sub):
+        sub.add_argument("--algorithm", default="fedavg",
+                         choices=sorted(ALGORITHM_REGISTRY))
+        sub.add_argument("--rho", type=float, default=0.3,
+                         help="FedADMM proximal coefficient")
+        sub.add_argument("--dataset", default="blobs",
+                         choices=["mnist", "fmnist", "cifar10", "blobs"])
+        sub.add_argument("--iid", action="store_true",
+                         help="use the IID partition (default: non-IID shards)")
+        sub.add_argument("--codec", default="float16",
+                         choices=sorted(CODEC_REGISTRY) + ["none"],
+                         help="upload codec; 'none' ships raw float64")
+        sub.add_argument("--mode", default="sync",
+                         choices=["sync", "semisync", "async"])
+        sub.add_argument("--rounds", type=int, default=None,
+                         help="override the scenario's round budget")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--output", default=None,
+                         help="optional path to save the result/report JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="run a federation server with optional local workers",
+        description="Serve one federated run over loopback/LAN HTTP: the "
+                    "composition root drives rounds while worker processes "
+                    "pull seeded tasks and push codec-encoded deltas "
+                    "(see docs/tutorials/serving.md).",
+    )
+    add_scenario_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default: an ephemeral free port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes to spawn locally; 0 means "
+                            "workers attach externally via `repro worker`")
+    serve.add_argument("--lease-s", type=float, default=30.0,
+                       help="task lease; a silent worker's task is "
+                            "reclaimed after this many seconds")
+    serve.add_argument("--store-dir", default=None,
+                       help="checkpoint every round into this run store")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume from the --store-dir checkpoint")
+
+    worker = subparsers.add_parser(
+        "worker", help="attach a worker process to a federation server",
+        description="Pull seeded local-update tasks from a running "
+                    "`repro serve` server and push encoded deltas back.",
+    )
+    worker.add_argument("url", help="server URL, e.g. http://127.0.0.1:8765")
+    worker.add_argument("--max-tasks", type=int, default=None)
+    worker.add_argument("--poll-interval", type=float, default=0.05)
+    worker.add_argument("--worker-id", default=None)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="drive a server with replayed heterogeneous traffic",
+        description="Run server + paced workers replaying the lognormal "
+                    "client profiles; report sustained rounds/sec, p99 "
+                    "round latency, and real-vs-ledger wire bytes.",
+    )
+    add_scenario_flags(loadtest)
+    loadtest.add_argument("--workers", type=int, default=2)
+    loadtest.add_argument("--budget", type=float, default=10.0,
+                          dest="simulated_budget_s",
+                          help="stop once this much simulated time has "
+                               "accumulated (default: 10s)")
+    loadtest.add_argument("--max-rounds", type=int, default=None,
+                          help="hard cap on rounds regardless of budget")
+    loadtest.add_argument("--time-scale", type=float, default=0.01,
+                          help="real seconds slept per simulated second "
+                               "of a client's round profile")
 
 
 def _format_duration(seconds: float) -> str:
@@ -344,6 +425,114 @@ def handle_runs(args: Any) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# The serve layer subcommands (`serve`, `worker`, `loadtest`)
+# --------------------------------------------------------------------------- #
+def _serve_scenario(args):
+    """(config, spec) for the serve/loadtest flags."""
+    from repro.experiments.configs import AlgorithmSpec, serve_config
+
+    config = serve_config(
+        dataset=args.dataset,
+        non_iid=not args.iid,
+        seed=args.seed,
+        codec=None if args.codec == "none" else args.codec,
+        mode=args.mode,
+    )
+    if args.rounds is not None:
+        config = config.with_overrides(num_rounds=args.rounds)
+    kwargs = {"rho": args.rho} if args.algorithm == "fedadmm" else {}
+    return config, AlgorithmSpec(args.algorithm, kwargs)
+
+
+def handle_serve(args: Any) -> int:
+    """Implement ``repro serve``: server plus optional local workers."""
+    import multiprocessing
+
+    from repro.serve.server import FederationServer
+    from repro.serve.worker import run_worker
+
+    config, spec = _serve_scenario(args)
+    server = FederationServer(
+        config, spec,
+        host=args.host, port=args.port,
+        lease_s=args.lease_s,
+        store_dir=args.store_dir, resume=args.resume,
+    )
+    server.start()
+    print(f"serving {config.name} / {spec.label()} at {server.url}")
+    if server.resumed_from_round:
+        print(f"resumed from round {server.resumed_from_round}")
+    workers = [
+        multiprocessing.Process(
+            target=run_worker,
+            kwargs=dict(url=server.url, worker_id=f"local-{index}"),
+            daemon=True,
+        )
+        for index in range(args.workers)
+    ]
+    for process in workers:
+        process.start()
+    try:
+        result = server.wait()
+    except KeyboardInterrupt:
+        print("\ninterrupted; finishing the in-flight round ...")
+        server.request_stop()
+        result = server.wait(timeout=60)
+    finally:
+        server.stop()
+        for process in workers:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+    print(f"rounds_run: {result.rounds_run}")
+    print(f"final_accuracy: {result.history.final_accuracy():.4f}")
+    print(f"upload_wire_bytes: {_format_bytes(result.ledger.upload_wire_bytes)}")
+    counters = server.metrics.snapshot()["counters"]
+    codec_name = result.metadata.get("codec") or "raw"
+    real = counters.get(f"serve.payload_bytes.{codec_name}", 0)
+    print(f"real_upload_payload_bytes: {_format_bytes(real)}")
+    if args.output:
+        path = save_json(to_jsonable(server.status_snapshot()), args.output)
+        print(f"Saved serve status to {path}")
+    return 0
+
+
+def handle_worker(args: Any) -> int:
+    """Implement ``repro worker``: attach to a running server."""
+    from repro.serve.worker import run_worker
+
+    completed = run_worker(
+        args.url,
+        max_tasks=args.max_tasks,
+        poll_interval=args.poll_interval,
+        worker_id=args.worker_id,
+    )
+    print(f"completed {completed} task(s)")
+    return 0
+
+
+def handle_loadtest(args: Any) -> int:
+    """Implement ``repro loadtest``: paced traffic replay + report."""
+    from repro.serve.loadgen import run_load_test
+
+    config, spec = _serve_scenario(args)
+    report = run_load_test(
+        config, spec,
+        num_workers=args.workers,
+        simulated_budget_s=args.simulated_budget_s,
+        max_rounds=args.max_rounds,
+        time_scale=args.time_scale,
+    )
+    payload = report.to_payload()
+    for key, value in payload.items():
+        print(f"{key}: {value}")
+    if args.output:
+        path = save_json(payload, args.output)
+        print(f"Saved load report to {path}")
+    return 0
+
+
 def _support_summary(study) -> str:
     """One-line modes/executors support summary for a study listing."""
     if not study.modes and not study.executors:
@@ -370,6 +559,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "runs":
         return handle_runs(args)
+    if args.experiment in ("serve", "worker", "loadtest"):
+        handler = {
+            "serve": handle_serve,
+            "worker": handle_worker,
+            "loadtest": handle_loadtest,
+        }[args.experiment]
+        try:
+            return handler(args)
+        except (ConfigurationError, ProtocolError) as exc:
+            # Same fail-fast contract as the study subcommands: bad flag
+            # values and unreachable/incompatible servers die with one
+            # clear line, not a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     profiling = args.experiment == "profile"
     study_name = args.study if profiling else args.experiment

@@ -30,3 +30,18 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """The federated simulation engine reached an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A wire payload was malformed, inconsistent, or mismatched its template.
+
+    Raised at trust boundaries (the :mod:`repro.serve` protocol layer and
+    :meth:`repro.systems.transport.Transport.decode`) where a payload arrives
+    from another process and cannot be assumed well-formed.  Carries an
+    optional machine-readable ``code`` so the serve layer can map the failure
+    onto an HTTP status.
+    """
+
+    def __init__(self, message: str, code: str = "malformed"):
+        super().__init__(message)
+        self.code = code

@@ -502,6 +502,45 @@ def semisync_config(
     )
 
 
+def serve_config(
+    dataset: str = "blobs",
+    non_iid: bool = True,
+    scale: str = "bench",
+    seed: int = 0,
+    codec: str | None = "float16",
+    network: str | None = "lognormal",
+    mode: str = "sync",
+) -> ExperimentConfig:
+    """Networked-serving scenario for the :mod:`repro.serve` runtime.
+
+    A small population that a couple of worker processes can serve at
+    interactive speed, with a heavy-tailed log-normal network so the load
+    generator replays realistic straggler traffic.  ``codec="float16"``
+    by default because its real packed bytes equal the ledger's nominal
+    wire bytes exactly (see :func:`repro.serve.protocol.payload_wire_bytes`).
+    """
+    _check_scale(scale)
+    num_clients = 100 if scale == "paper" else 12
+    config = _base_config(
+        name=f"serve-{dataset}-{'noniid' if non_iid else 'iid'}",
+        dataset=dataset,
+        num_clients=num_clients,
+        non_iid=non_iid,
+        scale=scale,
+        seed=seed,
+    )
+    return config.with_overrides(
+        n_train=600 if scale == "bench" else config.n_train,
+        n_test=200 if scale == "bench" else config.n_test,
+        client_fraction=0.25,
+        local_epochs=2,
+        num_rounds=10,
+        codec=codec,
+        network=network,
+        mode=mode,
+    )
+
+
 def systems_config(
     dataset: str = "blobs",
     non_iid: bool = True,

@@ -90,6 +90,7 @@ def build_simulation(
     algorithm: FederatedAlgorithm | AlgorithmSpec,
     clients: list[ClientState] | None = None,
     split: TrainTestSplit | None = None,
+    executor=None,
 ) -> FederatedSimulation:
     """Construct a simulation from a config, with the configured plan.
 
@@ -98,6 +99,10 @@ def build_simulation(
     buffered aggregation).  ``clients``/``split`` may be passed in so that
     several algorithms are compared on identical data; when omitted they
     are regenerated from the config (deterministically, from its seed).
+    ``executor`` overrides ``config.executor`` with a ready-made
+    :class:`~repro.systems.executor.ClientExecutor` instance — the serve
+    layer uses this to hand local updates to remote worker processes while
+    everything else (sampling, systems model, transport) stays identical.
     """
     if isinstance(algorithm, AlgorithmSpec):
         algorithm = build_algorithm(algorithm.name, **algorithm.kwargs)
@@ -136,7 +141,9 @@ def build_simulation(
         transport=transport,
         network=network,
         faults=faults,
-        executor=build_executor(
+        executor=executor
+        if executor is not None
+        else build_executor(
             config.executor,
             max_workers=config.max_workers,
             backend=config.backend,

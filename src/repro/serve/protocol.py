@@ -1,0 +1,550 @@
+"""Wire protocol for the networked federation runtime.
+
+The serve layer speaks a small binary protocol over HTTP POST bodies.  Every
+body is one *frame*:
+
+``MAGIC(4) | version u16 | blob_count u16 | header_len u32 | header | blobs``
+
+where ``header`` is UTF-8 JSON and each blob is ``length u32 | bytes``.  All
+integers are little-endian.  The header carries small structured fields
+(task ids, seeds, shapes, hex-exact floats); the blobs carry array payloads.
+
+Uploaded model deltas travel as the *encoded* representation of the
+:mod:`repro.systems.compression` codecs, packed to their exact wire size —
+so the bytes counted by the :class:`~repro.federated.messages.CommunicationLedger`
+correspond to real bytes in the HTTP body, modulo the documented per-codec
+framing overhead (see :func:`payload_wire_bytes`).
+
+Floats that must survive the trip bit-exactly (train losses, learning rates)
+are transported as ``float.hex()`` strings: JSON reprs round-trip doubles,
+but hex strings also survive NaN and are unambiguous to human readers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.systems.compression import (
+    Codec,
+    EncodedVector,
+    QSGDCodec,
+    TopKCodec,
+)
+
+#: Version carried in every frame and checked during the handshake.
+PROTOCOL_VERSION = 1
+
+#: Frame magic: "repro federation protocol".
+MAGIC = b"RFP1"
+
+#: Hard cap on a single frame; requests beyond this are rejected outright.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER_STRUCT = struct.Struct("<4sHHI")
+_BLOB_LEN = struct.Struct("<I")
+
+#: Machine-readable ProtocolError codes → HTTP status.
+HTTP_STATUS_FOR_CODE = {
+    "malformed": 400,
+    "bad_codec": 400,
+    "unknown_task": 404,
+    "too_large": 413,
+    "version_mismatch": 426,
+}
+
+
+def http_status_for(error: ProtocolError) -> int:
+    """Map a ProtocolError onto the HTTP status the server should send."""
+    return HTTP_STATUS_FOR_CODE.get(getattr(error, "code", "malformed"), 400)
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+def pack_frame(header: dict[str, Any], blobs: list[bytes] | None = None) -> bytes:
+    """Serialise a header dict plus binary blobs into one frame."""
+    blobs = blobs or []
+    if len(blobs) > 0xFFFF:
+        raise ProtocolError(f"too many blobs in one frame: {len(blobs)}")
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    parts = [_HEADER_STRUCT.pack(MAGIC, PROTOCOL_VERSION, len(blobs), len(header_bytes))]
+    parts.append(header_bytes)
+    for blob in blobs:
+        parts.append(_BLOB_LEN.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def unpack_frame(
+    data: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[dict[str, Any], list[bytes]]:
+    """Parse one frame, validating structure, version, and size bounds."""
+    if len(data) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the {max_bytes}-byte limit",
+            code="too_large",
+        )
+    if len(data) < _HEADER_STRUCT.size:
+        raise ProtocolError(
+            f"frame truncated: {len(data)} bytes is shorter than the "
+            f"{_HEADER_STRUCT.size}-byte preamble"
+        )
+    magic, version, blob_count, header_len = _HEADER_STRUCT.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"frame speaks protocol version {version}, this build speaks "
+            f"{PROTOCOL_VERSION}",
+            code="version_mismatch",
+        )
+    offset = _HEADER_STRUCT.size
+    if offset + header_len > len(data):
+        raise ProtocolError("frame truncated inside the JSON header")
+    try:
+        header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    offset += header_len
+    blobs: list[bytes] = []
+    for index in range(blob_count):
+        if offset + _BLOB_LEN.size > len(data):
+            raise ProtocolError(f"frame truncated before blob {index}")
+        (length,) = _BLOB_LEN.unpack_from(data, offset)
+        offset += _BLOB_LEN.size
+        if offset + length > len(data):
+            raise ProtocolError(f"frame truncated inside blob {index}")
+        blobs.append(data[offset : offset + length])
+        offset += length
+    if offset != len(data):
+        raise ProtocolError(f"{len(data) - offset} trailing bytes after the last blob")
+    return header, blobs
+
+
+# ---------------------------------------------------------------------------
+# Exact float transport
+# ---------------------------------------------------------------------------
+
+
+def hex_float(value: float) -> str:
+    """Bit-exact, NaN-safe string form of a double."""
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    return value.hex()
+
+
+def unhex_float(text: str) -> float:
+    """Inverse of :func:`hex_float`."""
+    if text == "nan":
+        return math.nan
+    try:
+        return float.fromhex(text)
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(f"bad hex float {text!r}: {exc}") from None
+
+
+def pack_array(array: np.ndarray) -> bytes:
+    """Raw little-endian float64 bytes of an array (shape travels in the header)."""
+    return np.ascontiguousarray(array, dtype="<f8").tobytes()
+
+
+def unpack_array(data: bytes, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_array`; validates the byte count against shape."""
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if len(data) != count * 8:
+        raise ProtocolError(
+            f"float64 blob has {len(data)} bytes, expected {count * 8} for "
+            f"shape {tuple(shape)}"
+        )
+    return np.frombuffer(data, dtype="<f8").reshape(shape).copy()
+
+
+# ---------------------------------------------------------------------------
+# Bit packing (QSGD levels+signs, signSGD signs)
+# ---------------------------------------------------------------------------
+
+
+def _pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack small unsigned ints, ``bits`` each, MSB-first, into bytes."""
+    values = np.asarray(values, dtype=np.uint32)
+    if values.size == 0:
+        return b""
+    # Explode each value into its `bits` bits (MSB first), then let packbits
+    # fold the flat bit-stream into bytes.
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint32)
+    bit_matrix = (values[:, None] >> shifts[None, :]) & 1
+    return np.packbits(bit_matrix.astype(np.uint8).ravel()).tobytes()
+
+
+def _unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bits` for ``count`` values."""
+    total_bits = count * bits
+    expected = (total_bits + 7) // 8
+    if len(data) != expected:
+        raise ProtocolError(
+            f"bit-packed blob has {len(data)} bytes, expected {expected} for "
+            f"{count} values of {bits} bits"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    flat = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=total_bits)
+    bit_matrix = flat.reshape(count, bits).astype(np.uint32)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint32)
+    return (bit_matrix << shifts[None, :]).sum(axis=1, dtype=np.uint32)
+
+
+# ---------------------------------------------------------------------------
+# Codec payload packing
+# ---------------------------------------------------------------------------
+
+
+def payload_wire_bytes(codec: Codec | None, dim: int) -> int:
+    """Exact bytes :func:`pack_vector` produces for a d-vector.
+
+    Relations to the ledger's nominal ``codec.wire_bytes(dim)``:
+
+    - ``identity`` (and raw, ``codec=None``): ``2 x`` — the ledger costs a
+      float32 wire while exact reconstruction requires shipping float64.
+    - ``float16``: equal.
+    - ``topk``: equal (uint32 index + float32 value per kept coordinate).
+    - ``qsgd`` / ``signsgd``: ``+ 4`` per vector — the ledger costs the
+      norm/scale side-channel at 4 bytes, the wire ships a float64.
+    """
+    if codec is None or codec.name == "identity":
+        return dim * 8
+    if codec.name == "float16":
+        return dim * 2
+    if codec.name == "topk":
+        return codec.wire_bytes(dim)
+    if codec.name in ("qsgd", "signsgd"):
+        return codec.wire_bytes(dim) + 4
+    raise ProtocolError(f"no wire packing for codec {codec.name!r}", code="bad_codec")
+
+
+def pack_vector(codec: Codec | None, encoded: EncodedVector) -> bytes:
+    """Pack one encoded vector into its exact binary wire form."""
+    data = encoded.data
+    if codec is None or codec.name == "identity":
+        return np.ascontiguousarray(data["values"], dtype="<f8").tobytes()
+    if codec.name == "float16":
+        return np.ascontiguousarray(data["values"], dtype="<f2").tobytes()
+    if codec.name == "topk":
+        indices = np.ascontiguousarray(data["indices"], dtype="<u4").tobytes()
+        values = np.ascontiguousarray(data["values"], dtype="<f4").tobytes()
+        return indices + values
+    if codec.name == "qsgd":
+        assert isinstance(codec, QSGDCodec)
+        bits = codec.bits_per_coordinate
+        negatives = (np.asarray(data["signs"]) < 0).astype(np.uint32)
+        levels = np.asarray(data["levels"], dtype=np.uint32)
+        packed = _pack_bits((negatives << (bits - 1)) | levels, bits)
+        return packed + np.ascontiguousarray(data["norm"], dtype="<f8").tobytes()
+    if codec.name == "signsgd":
+        negatives = (np.asarray(data["signs"]) < 0).astype(np.uint8)
+        packed = np.packbits(negatives).tobytes()
+        return packed + np.ascontiguousarray(data["scale"], dtype="<f8").tobytes()
+    raise ProtocolError(f"no wire packing for codec {codec.name!r}", code="bad_codec")
+
+
+def unpack_vector(codec: Codec | None, dim: int, data: bytes) -> EncodedVector:
+    """Parse the binary wire form back into an :class:`EncodedVector`.
+
+    Validates the byte count against the codec and declared dimension; the
+    semantic validation (index ranges, level bounds, sign values) lives in
+    :meth:`repro.systems.transport.Transport.decode`.
+    """
+    if dim < 0:
+        raise ProtocolError(f"negative vector dimension {dim}")
+    expected = payload_wire_bytes(codec, dim)
+    if len(data) != expected:
+        raise ProtocolError(
+            f"{'raw' if codec is None else codec.name} payload has "
+            f"{len(data)} bytes, expected {expected} for dim {dim}"
+        )
+    if codec is None or codec.name == "identity":
+        values = np.frombuffer(data, dtype="<f8").astype(np.float64)
+        name = "identity" if codec is not None else "raw"
+        wire = codec.wire_bytes(dim) if codec is not None else dim * 8
+        return EncodedVector(codec=name, dim=dim, wire_bytes=wire, data={"values": values})
+    if codec.name == "float16":
+        values = np.frombuffer(data, dtype="<f2").astype(np.float16)
+        return EncodedVector(
+            codec=codec.name,
+            dim=dim,
+            wire_bytes=codec.wire_bytes(dim),
+            data={"values": values},
+        )
+    if codec.name == "topk":
+        assert isinstance(codec, TopKCodec)
+        kept = codec.num_kept(dim)
+        indices = np.frombuffer(data[: kept * 4], dtype="<u4").astype(np.uint32)
+        values = np.frombuffer(data[kept * 4 :], dtype="<f4").astype(np.float32)
+        return EncodedVector(
+            codec=codec.name,
+            dim=dim,
+            wire_bytes=codec.wire_bytes(dim),
+            data={"indices": indices, "values": values},
+        )
+    if codec.name == "qsgd":
+        assert isinstance(codec, QSGDCodec)
+        bits = codec.bits_per_coordinate
+        split = len(data) - 8
+        ints = _unpack_bits(data[:split], bits, dim)
+        negatives = ints >> (bits - 1)
+        levels = (ints & ((1 << (bits - 1)) - 1)).astype(np.int32)
+        if np.any(levels > codec.levels):
+            raise ProtocolError(
+                f"qsgd payload carries a level above {codec.levels}"
+            )
+        signs = np.where(negatives, -1, 1).astype(np.int8)
+        norm = np.frombuffer(data[split:], dtype="<f8").astype(np.float64)
+        return EncodedVector(
+            codec=codec.name,
+            dim=dim,
+            wire_bytes=codec.wire_bytes(dim),
+            data={"levels": levels, "signs": signs, "norm": norm},
+        )
+    if codec.name == "signsgd":
+        split = len(data) - 8
+        bits_arr = np.unpackbits(np.frombuffer(data[:split], dtype=np.uint8), count=dim)
+        signs = np.where(bits_arr, -1, 1).astype(np.int8)
+        scale = np.frombuffer(data[split:], dtype="<f8").astype(np.float64)
+        return EncodedVector(
+            codec=codec.name,
+            dim=dim,
+            wire_bytes=codec.wire_bytes(dim),
+            data={"signs": signs, "scale": scale},
+        )
+    raise ProtocolError(f"no wire packing for codec {codec.name!r}", code="bad_codec")
+
+
+# ---------------------------------------------------------------------------
+# Task frames (server → worker)
+# ---------------------------------------------------------------------------
+
+
+def encode_task(task_id: str, task) -> bytes:
+    """Frame one :class:`~repro.systems.executor.LocalUpdateTask` for the wire.
+
+    The global parameters, server-state vectors, and the client's persistent
+    variables ship as raw float64 blobs; everything else rides in the header.
+    Isolated executors hand tasks integer seeds, which JSON carries exactly.
+    """
+    blobs: list[bytes] = []
+    state_keys = sorted(task.server_state)
+    var_keys = sorted(task.client.variables)
+    blobs.append(pack_array(task.global_params))
+    for key in state_keys:
+        blobs.append(pack_array(task.server_state[key]))
+    for key in var_keys:
+        blobs.append(pack_array(task.client.variables[key]))
+    header = {
+        "kind": "task",
+        "task_id": task_id,
+        "client_index": int(task.client_index),
+        "client_id": int(task.client.client_id),
+        "round_index": int(task.round_index),
+        "seed": int(task.rng),
+        "epochs": int(task.config.epochs),
+        "batch_size": None if task.config.batch_size is None else int(task.config.batch_size),
+        "learning_rate": hex_float(task.config.learning_rate),
+        "rounds_participated": int(task.client.rounds_participated),
+        "local_work_done": int(task.client.local_work_done),
+        "params_shape": list(np.asarray(task.global_params).shape),
+        "state_keys": state_keys,
+        "state_shapes": [list(np.asarray(task.server_state[k]).shape) for k in state_keys],
+        "var_keys": var_keys,
+        "var_shapes": [list(np.asarray(task.client.variables[k]).shape) for k in var_keys],
+    }
+    return pack_frame(header, blobs)
+
+
+def decode_task(header: dict[str, Any], blobs: list[bytes]) -> dict[str, Any]:
+    """Parse a task frame into plain fields plus reconstructed arrays."""
+    required = (
+        "task_id",
+        "client_index",
+        "client_id",
+        "round_index",
+        "seed",
+        "epochs",
+        "learning_rate",
+        "params_shape",
+        "state_keys",
+        "state_shapes",
+        "var_keys",
+        "var_shapes",
+    )
+    for key in required:
+        if key not in header:
+            raise ProtocolError(f"task frame missing field {key!r}")
+    state_keys = list(header["state_keys"])
+    var_keys = list(header["var_keys"])
+    expected_blobs = 1 + len(state_keys) + len(var_keys)
+    if len(blobs) != expected_blobs:
+        raise ProtocolError(
+            f"task frame carries {len(blobs)} blobs, expected {expected_blobs}"
+        )
+    params = unpack_array(blobs[0], tuple(header["params_shape"]))
+    server_state = {
+        key: unpack_array(blob, tuple(shape))
+        for key, shape, blob in zip(
+            state_keys, header["state_shapes"], blobs[1 : 1 + len(state_keys)]
+        )
+    }
+    variables = {
+        key: unpack_array(blob, tuple(shape))
+        for key, shape, blob in zip(
+            var_keys, header["var_shapes"], blobs[1 + len(state_keys) :]
+        )
+    }
+    return {
+        "task_id": str(header["task_id"]),
+        "client_index": int(header["client_index"]),
+        "client_id": int(header["client_id"]),
+        "round_index": int(header["round_index"]),
+        "seed": int(header["seed"]),
+        "epochs": int(header["epochs"]),
+        "batch_size": header.get("batch_size"),
+        "learning_rate": unhex_float(header["learning_rate"]),
+        "rounds_participated": int(header.get("rounds_participated", 0)),
+        "local_work_done": int(header.get("local_work_done", 0)),
+        "global_params": params,
+        "server_state": server_state,
+        "variables": variables,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Submit frames (worker → server)
+# ---------------------------------------------------------------------------
+
+
+def encode_submit(
+    task_id: str,
+    message,
+    client,
+    codec: Codec | None,
+    rng=None,
+) -> bytes:
+    """Frame one finished local update: codec-encoded payload + client vars.
+
+    The payload vectors are *encoded* with ``codec`` here on the worker, so
+    the HTTP body carries the compressed representation — the server decodes
+    and re-derives the wire costs through its own transport, keeping the
+    ledger identical to simulation.
+    """
+    blobs: list[bytes] = []
+    payload_keys = sorted(message.payload)
+    payload_meta = []
+    for key in payload_keys:
+        array = np.asarray(message.payload[key])
+        encoded = (
+            codec.encode(array.ravel(), rng=rng)
+            if codec is not None
+            else EncodedVector(
+                codec="raw",
+                dim=array.size,
+                wire_bytes=array.size * 8,
+                data={"values": np.asarray(array.ravel(), dtype=np.float64)},
+            )
+        )
+        blobs.append(pack_vector(codec, encoded))
+        payload_meta.append({"key": key, "shape": list(array.shape)})
+    var_keys = sorted(client.variables)
+    for key in var_keys:
+        blobs.append(pack_array(client.variables[key]))
+    header = {
+        "kind": "submit",
+        "task_id": task_id,
+        "client_id": int(message.client_id),
+        "num_samples": int(message.num_samples),
+        "local_epochs": int(message.local_epochs),
+        "train_loss": hex_float(message.train_loss),
+        "codec": codec.name if codec is not None else "raw",
+        "payload": payload_meta,
+        "var_keys": var_keys,
+        "var_shapes": [list(np.asarray(client.variables[k]).shape) for k in var_keys],
+        "rounds_participated": int(client.rounds_participated),
+        "local_work_done": int(client.local_work_done),
+    }
+    return pack_frame(header, blobs)
+
+
+def decode_submit(
+    header: dict[str, Any],
+    blobs: list[bytes],
+    transport,
+) -> dict[str, Any]:
+    """Parse and validate a submit frame against the server's transport.
+
+    Every payload vector is run through :meth:`Transport.decode` (or raw
+    float64 unpacking when the server runs without a codec), so malformed or
+    template-mismatched uploads surface as :class:`ProtocolError` here, at
+    the boundary, rather than corrupting aggregation.
+    """
+    required = ("task_id", "client_id", "num_samples", "local_epochs",
+                "train_loss", "codec", "payload", "var_keys", "var_shapes")
+    for key in required:
+        if key not in header:
+            raise ProtocolError(f"submit frame missing field {key!r}")
+    codec = transport.codec if transport is not None else None
+    expected_name = codec.name if codec is not None else "raw"
+    if header["codec"] != expected_name:
+        raise ProtocolError(
+            f"submit encoded with codec {header['codec']!r}, server expects "
+            f"{expected_name!r}",
+            code="bad_codec",
+        )
+    payload_meta = header["payload"]
+    if not isinstance(payload_meta, list):
+        raise ProtocolError("submit 'payload' must be a list of descriptors")
+    var_keys = list(header["var_keys"])
+    expected_blobs = len(payload_meta) + len(var_keys)
+    if len(blobs) != expected_blobs:
+        raise ProtocolError(
+            f"submit frame carries {len(blobs)} blobs, expected {expected_blobs}"
+        )
+    payload: dict[str, np.ndarray] = {}
+    payload_bytes = 0
+    for meta, blob in zip(payload_meta, blobs[: len(payload_meta)]):
+        if not isinstance(meta, dict) or "key" not in meta or "shape" not in meta:
+            raise ProtocolError("submit payload descriptor must carry key and shape")
+        shape = tuple(int(s) for s in meta["shape"])
+        template = np.empty(shape, dtype=np.float64)
+        encoded = unpack_vector(codec, int(template.size), blob)
+        if transport is not None:
+            payload[str(meta["key"])] = transport.decode(encoded, template)
+        else:
+            values = np.asarray(encoded.data["values"], dtype=np.float64)
+            payload[str(meta["key"])] = values.reshape(shape)
+        payload_bytes += len(blob)
+    variables = {
+        key: unpack_array(blob, tuple(shape))
+        for key, shape, blob in zip(
+            var_keys, header["var_shapes"], blobs[len(payload_meta) :]
+        )
+    }
+    return {
+        "task_id": str(header["task_id"]),
+        "client_id": int(header["client_id"]),
+        "num_samples": int(header["num_samples"]),
+        "local_epochs": int(header["local_epochs"]),
+        "train_loss": unhex_float(header["train_loss"]),
+        "payload": payload,
+        "payload_bytes": payload_bytes,
+        "variables": variables,
+        "rounds_participated": int(header.get("rounds_participated", 0)),
+        "local_work_done": int(header.get("local_work_done", 0)),
+    }

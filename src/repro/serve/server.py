@@ -1,0 +1,748 @@
+"""The federation server: the simulation engine driven over real HTTP.
+
+The server wires the existing composition root — :class:`ServerState` +
+:class:`ClientWorkPipeline` + an :class:`ExecutionPlan` — to the network by
+swapping in one component: a :class:`RemoteExecutor` that, instead of
+running local updates in-process, publishes them to a :class:`TaskBoard`
+that separate worker processes drain over HTTP.  Everything else (client
+sampling, the systems model, codec round-trips, the ledger) runs unchanged
+in the driver thread, so a networked run advances rounds *exactly* as the
+in-process simulation does.
+
+Determinism: :class:`RemoteExecutor` is *isolated* in the executor-seam
+sense — every task carries an integer seed derived from a stable label —
+so which worker computes an update, and in what order updates arrive, can
+never change the result.  Networked histories are bit-identical to any
+isolated in-process run (``executor="thread"``/``"process"``) of the same
+config and seed.
+
+Endpoints (all bodies are :mod:`repro.serve.protocol` frames unless noted):
+
+- ``POST /v1/handshake`` — JSON in/out; refuses version mismatches (426)
+  and returns the experiment config workers must rebuild.
+- ``POST /v1/task`` — empty body in; one task frame out, or JSON
+  ``{"task": null, "done": ...}`` when nothing is pending.
+- ``POST /v1/submit`` — a submit frame in; JSON ``{"status": "ok"}`` out.
+  Duplicate submissions of a finished task are idempotent
+  (``{"status": "duplicate"}``), malformed ones map onto 400/404/413/426.
+- ``GET /v1/status`` — JSON progress snapshot.
+- ``POST /v1/shutdown`` — JSON; asks the driver to stop after the current
+  round.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms import build_algorithm
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.experiments.configs import AlgorithmSpec, ExperimentConfig
+from repro.experiments.orchestrator import RunSpec
+from repro.experiments.runner import build_simulation
+from repro.experiments.store import ExperimentStore
+from repro.federated.client import ClientState
+from repro.federated.engine import SimulationResult
+from repro.federated.evaluation import evaluate_model
+from repro.federated.messages import ClientMessage
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.systems.executor import ClientExecutor, LocalUpdateOutcome, LocalUpdateTask
+from repro.systems.transport import Transport
+
+
+class _Aborted(Exception):
+    """Internal: the board was torn down while a round was in flight."""
+
+
+class WireAccountingTransport(Transport):
+    """Transport for payloads that already crossed the codec on the wire.
+
+    The worker encoded the upload and the server's submit handler decoded
+    (and validated) it — exactly one codec application, same as simulation.
+    Re-applying the codec in ``pipeline.compress`` would quantize twice, so
+    this transport passes the values through untouched and only accounts
+    the nominal wire bytes, keeping ledger totals and message metadata
+    identical to the in-process run.
+    """
+
+    def compress_message(self, message, rng=None):
+        wire_bytes = sum(
+            self.codec.wire_bytes(int(np.asarray(vector).size))
+            for vector in message.payload.values()
+        )
+        compressed = dataclasses.replace(
+            message,
+            metadata={
+                **message.metadata,
+                "codec": self.codec.name,
+                "wire_bytes": wire_bytes,
+            },
+        )
+        return compressed, wire_bytes
+
+
+@dataclass
+class _Ticket:
+    """One published local-update task and its lifecycle on the board."""
+
+    task_id: str
+    frame: bytes
+    client_index: int
+    client_id: int
+    state: str = "pending"  # pending -> leased -> done
+    lease_expires: float = 0.0
+    outcome: LocalUpdateOutcome | None = None
+
+
+class TaskBoard:
+    """Thread-safe exchange between the round driver and HTTP handlers.
+
+    The driver publishes a round's tasks and blocks in :meth:`wait`;
+    handler threads lease tasks with :meth:`pull` and deliver results with
+    :meth:`resolve`.  A leased task whose worker goes silent past its
+    lease is reclaimed — put back on the queue for another worker — which
+    is how a worker killed mid-round is absorbed without stalling the
+    round (the serve-layer analogue of the semisync deadline).  Because
+    tasks are seeded, a reclaimed task recomputed elsewhere yields the
+    identical update; :meth:`resolve` keeps the first result and reports
+    ``"duplicate"`` for any re-submission.
+    """
+
+    def __init__(self, lease_s: float = 30.0):
+        if lease_s <= 0:
+            raise ConfigurationError(f"lease_s must be positive, got {lease_s}")
+        self.lease_s = float(lease_s)
+        self._cond = threading.Condition()
+        self._tickets: dict[str, _Ticket] = {}
+        self._queue: deque[str] = deque()
+        self._seq = 0
+        self._aborted = False
+        self.reclaimed = 0
+        self.duplicates = 0
+
+    def next_task_id(self, round_index: int, client_index: int) -> str:
+        with self._cond:
+            self._seq += 1
+            return f"r{round_index}-c{client_index}-{self._seq}"
+
+    def publish(self, tickets: list[_Ticket]) -> None:
+        with self._cond:
+            for ticket in tickets:
+                self._tickets[ticket.task_id] = ticket
+                self._queue.append(ticket.task_id)
+            self._cond.notify_all()
+
+    def pull(self) -> _Ticket | None:
+        """Lease the next pending task, reclaiming expired leases first."""
+        with self._cond:
+            self._reclaim_locked()
+            while self._queue:
+                ticket = self._tickets.get(self._queue.popleft())
+                if ticket is None or ticket.state != "pending":
+                    continue
+                ticket.state = "leased"
+                ticket.lease_expires = time.monotonic() + self.lease_s
+                return ticket
+            return None
+
+    def client_of(self, task_id: str) -> _Ticket:
+        with self._cond:
+            ticket = self._tickets.get(task_id)
+            if ticket is None:
+                raise ProtocolError(
+                    f"unknown task {task_id!r}", code="unknown_task"
+                )
+            return ticket
+
+    def resolve(self, task_id: str, outcome: LocalUpdateOutcome) -> str:
+        with self._cond:
+            ticket = self._tickets.get(task_id)
+            if ticket is None:
+                raise ProtocolError(
+                    f"unknown task {task_id!r}", code="unknown_task"
+                )
+            if ticket.state == "done":
+                self.duplicates += 1
+                return "duplicate"
+            ticket.state = "done"
+            ticket.outcome = outcome
+            self._cond.notify_all()
+            return "ok"
+
+    def wait(self, task_ids: list[str]) -> list[LocalUpdateOutcome]:
+        """Block until every task is done; outcomes in ``task_ids`` order."""
+        with self._cond:
+            while True:
+                if self._aborted:
+                    raise _Aborted()
+                self._reclaim_locked()
+                if all(self._tickets[tid].state == "done" for tid in task_ids):
+                    outcomes = [self._tickets[tid].outcome for tid in task_ids]
+                    # The round is complete; forget its tickets so late
+                    # duplicate submissions report unknown_task, and memory
+                    # stays bounded by one round's cohort.
+                    for tid in task_ids:
+                        del self._tickets[tid]
+                    return outcomes
+                # Wake periodically so expired leases are reclaimed even
+                # when no submit arrives to notify us.
+                self._cond.wait(timeout=min(1.0, self.lease_s / 4))
+
+    def abort(self) -> None:
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return sum(
+                1 for t in self._tickets.values() if t.state != "done"
+            )
+
+    def _reclaim_locked(self) -> None:
+        now = time.monotonic()
+        for ticket in self._tickets.values():
+            if ticket.state == "leased" and ticket.lease_expires <= now:
+                ticket.state = "pending"
+                self._queue.append(ticket.task_id)
+                self.reclaimed += 1
+
+
+class RemoteExecutor(ClientExecutor):
+    """Executor seam implementation that farms tasks out over the board.
+
+    ``isolated = True`` is the load-bearing bit: plans hand isolated
+    executors per-task integer seeds (stable label hashes), so remote
+    workers reproduce exactly the update an in-process isolated executor
+    would compute, regardless of which worker runs it or when.
+    """
+
+    isolated = True
+
+    def __init__(self, board: TaskBoard):
+        self.board = board
+
+    def run_tasks(self, tasks: list[LocalUpdateTask]) -> list[LocalUpdateOutcome]:
+        tickets = []
+        for task in tasks:
+            task_id = self.board.next_task_id(task.round_index, task.client_index)
+            tickets.append(
+                _Ticket(
+                    task_id=task_id,
+                    frame=protocol.encode_task(task_id, task),
+                    client_index=task.client_index,
+                    client_id=int(task.client.client_id),
+                )
+            )
+        self.board.publish(tickets)
+        return self.board.wait([ticket.task_id for ticket in tickets])
+
+
+# --------------------------------------------------------------------------- #
+# HTTP plumbing
+# --------------------------------------------------------------------------- #
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "FederationServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging goes through the metrics registry instead
+
+    @property
+    def app(self) -> "FederationServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.app.max_frame_bytes:
+            # Refuse without reading; the stream is now unsynchronised, so
+            # the connection must close after the error response.
+            self.close_connection = True
+            raise ProtocolError(
+                f"request of {length} bytes exceeds the "
+                f"{self.app.max_frame_bytes}-byte limit",
+                code="too_large",
+            )
+        return self.rfile.read(length) if length else b""
+
+    def do_GET(self) -> None:
+        if self.path == "/v1/status":
+            self.app.count_request("status")
+            self._send_json(200, self.app.status_snapshot())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:
+        route = self.path
+        try:
+            body = self._read_body()
+            self.app.metrics.counter("serve.request_bytes").inc(len(body))
+            if route == "/v1/handshake":
+                self.app.count_request("handshake")
+                self._send_json(200, self.app.handle_handshake(body))
+            elif route == "/v1/task":
+                self.app.count_request("task")
+                frame = self.app.handle_task()
+                if frame is None:
+                    self._send_json(200, {"task": None, "done": self.app.done})
+                else:
+                    self._send(200, frame, "application/octet-stream")
+            elif route == "/v1/submit":
+                self.app.count_request("submit")
+                self._send_json(200, self.app.handle_submit(body))
+            elif route == "/v1/shutdown":
+                self.app.count_request("shutdown")
+                self.app.request_stop()
+                self._send_json(200, {"stopping": True})
+            else:
+                self._send_json(404, {"error": f"no route {route!r}"})
+        except ProtocolError as exc:
+            code = getattr(exc, "code", "malformed")
+            self.app.metrics.counter(f"serve.errors.{code}").inc()
+            self._send_json(
+                protocol.http_status_for(exc), {"error": str(exc), "code": code}
+            )
+
+
+# --------------------------------------------------------------------------- #
+# The server itself
+# --------------------------------------------------------------------------- #
+class FederationServer:
+    """One federated run served over loopback (or any interface) HTTP.
+
+    Builds the standard simulation from ``config`` — swapping the executor
+    for a :class:`RemoteExecutor` — then drives ``plan.run_round`` in a
+    background thread while HTTP handler threads feed the
+    :class:`TaskBoard`.  With ``store_dir`` set, every completed round is
+    checkpointed to an :class:`ExperimentStore`; a restarted server with
+    ``resume=True`` reloads the checkpoint and fast-forwards its RNG
+    streams so the continued run is byte-for-byte the run an uninterrupted
+    server would have produced (synchronous plan only).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        algorithm: AlgorithmSpec,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_rounds: int | None = None,
+        lease_s: float = 30.0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        store_dir: str | None = None,
+        resume: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config
+        self.spec = algorithm
+        self.num_rounds = num_rounds if num_rounds is not None else config.num_rounds
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.board = TaskBoard(lease_s=lease_s)
+        self.simulation = build_simulation(
+            config, algorithm, executor=RemoteExecutor(self.board)
+        )
+        if self.simulation.pipeline.transport is not None:
+            # Uploads arrive codec-encoded over HTTP; the pipeline must
+            # account their wire cost without re-quantizing them.
+            self.simulation.pipeline.transport = WireAccountingTransport(
+                self.simulation.pipeline.transport.codec
+            )
+        self.algorithm = self.simulation.algorithm
+        self.model_dim = int(self.simulation.state.params.size)
+        self.allowed_dims = set(
+            int(d) for d in self.algorithm.upload_vector_dims(self.model_dim)
+        )
+        self.round_latencies: list[float] = []
+        self.result: SimulationResult | None = None
+        self.error: BaseException | None = None
+        self.resumed_from_round = 0
+
+        self.store = ExperimentStore(store_dir) if store_dir is not None else None
+        self.run_spec = RunSpec(
+            study="serve",
+            key=(config.name, algorithm.label()),
+            config=config,
+            algorithm=algorithm,
+            stop_at_target=False,
+        )
+        if resume:
+            if self.store is None:
+                raise ConfigurationError("resume=True needs a store_dir")
+            self._restore_from_store()
+
+        self._host = host
+        self._port = port
+        self._httpd: _ServeHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        self._driver: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self._httpd = _ServeHTTPServer((self._host, self._port), _Handler)
+        self._httpd.app = self
+        self._port = self._httpd.server_address[1]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._http_thread.start()
+        self._driver = threading.Thread(
+            target=self._drive, name="serve-driver", daemon=True
+        )
+        self._driver.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def request_stop(self) -> None:
+        """Finish the in-flight round (if any), checkpoint, then stop."""
+        self._stop.set()
+
+    def wait(self, timeout: float | None = None) -> SimulationResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"server did not finish within {timeout}s")
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+    def stop(self) -> None:
+        """Tear everything down, aborting any in-flight round."""
+        self._stop.set()
+        self.board.abort()
+        if self._driver is not None:
+            self._driver.join(timeout=10)
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10)
+
+    # ------------------------------------------------------------------ #
+    # The round driver
+    # ------------------------------------------------------------------ #
+    def _drive(self) -> None:
+        sim = self.simulation
+        try:
+            while sim.state.rounds_run < self.num_rounds and not self._stop.is_set():
+                started = time.perf_counter()
+                sim.run_round()
+                self.round_latencies.append(time.perf_counter() - started)
+                self.metrics.histogram("serve.round_seconds").observe(
+                    self.round_latencies[-1]
+                )
+                if self.store is not None:
+                    self.store.save_result(self.run_spec, self._snapshot_result())
+            self.result = self._snapshot_result()
+        except _Aborted:
+            # stop() tore down the board mid-round; report what completed.
+            try:
+                self.result = self._snapshot_result()
+            except Exception:  # pragma: no cover - best-effort summary
+                pass
+        except BaseException as exc:
+            self.error = exc
+            self.board.abort()
+        finally:
+            sim.pipeline.close()
+            self._done.set()
+
+    def _snapshot_result(self) -> SimulationResult:
+        """A :class:`SimulationResult` for the rounds completed so far.
+
+        Mirrors the tail of :meth:`FederatedSimulation.run`, with a
+        ``serve_checkpoint`` metadata block carrying the state a restarted
+        server needs (algorithm state, per-client variables, counters).
+        """
+        sim = self.simulation
+        final_evaluation = None
+        if len(sim.test_dataset) > 0:
+            if sim.state.evaluation_is_current():
+                final_evaluation = sim.state.last_evaluation
+            else:
+                final_evaluation = evaluate_model(
+                    sim.model,
+                    sim.loss,
+                    sim.state.params,
+                    sim.test_dataset,
+                    batch_size=sim.eval_batch_size,
+                )
+        metadata = {
+            "num_clients": len(sim.clients),
+            "batch_size": sim.batch_size,
+            "learning_rate": sim.learning_rate,
+            "executor": type(sim.executor).__name__,
+            "codec": None if sim.transport is None else sim.transport.codec.name,
+            **sim.plan.extra_metadata(sim),
+            "serve_checkpoint": {
+                "model_version": int(sim.state.model_version),
+                "last_aggregation_time": float(sim.state.last_aggregation_time),
+                "algorithm_state": {
+                    key: np.asarray(value).tolist()
+                    for key, value in sim.state.algorithm_state.items()
+                },
+                "clients": [
+                    {
+                        "client_id": int(client.client_id),
+                        "variables": {
+                            key: np.asarray(value).tolist()
+                            for key, value in client.variables.items()
+                        },
+                        "rounds_participated": int(client.rounds_participated),
+                        "local_work_done": int(client.local_work_done),
+                    }
+                    for client in sim.clients
+                ],
+            },
+        }
+        return SimulationResult(
+            algorithm=sim.algorithm.name,
+            history=sim.history,
+            final_params=np.array(sim.state.params, copy=True),
+            ledger=sim.ledger,
+            final_evaluation=final_evaluation,
+            rounds_run=sim.state.rounds_run,
+            target_accuracy=None,
+            rounds_to_target=None,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint restore
+    # ------------------------------------------------------------------ #
+    def _restore_from_store(self) -> bool:
+        """Reload the last checkpoint and fast-forward the RNG streams.
+
+        Restores parameters, algorithm state, history, ledger, and client
+        variables, then *replays the driver-side randomness* of every
+        completed round (sampling, local-work draws, fault/system draws)
+        so the generators sit exactly where the uninterrupted run would
+        have left them.  Only the lock-step synchronous plan is replayable
+        this way.  The transport stream needs no replay: serve-side
+        compression is pure accounting (:class:`WireAccountingTransport`)
+        and never draws from it.
+        """
+        if self.config.mode != "sync" or self.config.plan != "flat":
+            raise ConfigurationError(
+                "serve resume supports the flat synchronous plan only; "
+                f"got mode={self.config.mode!r} plan={self.config.plan!r}"
+            )
+        key = self.store.key_for(self.run_spec)
+        if not self.store.has_result(key):
+            return False
+        saved = self.store.load_result(key)
+        checkpoint = saved.metadata.get("serve_checkpoint")
+        if checkpoint is None:
+            raise ConfigurationError(
+                "stored result carries no serve_checkpoint metadata"
+            )
+        sim = self.simulation
+        sim.state.params = np.asarray(saved.final_params, dtype=np.float64)
+        sim.state.algorithm_state = {
+            key_: np.asarray(value, dtype=np.float64)
+            for key_, value in checkpoint["algorithm_state"].items()
+        }
+        sim.state.model_version = int(checkpoint["model_version"])
+        sim.state.rounds_run = int(saved.rounds_run)
+        sim.state.last_aggregation_time = float(checkpoint["last_aggregation_time"])
+        sim.history.records[:] = list(saved.history.records)
+        for field_ in dataclasses.fields(sim.ledger):
+            setattr(sim.ledger, field_.name, getattr(saved.ledger, field_.name))
+        by_id = {entry["client_id"]: entry for entry in checkpoint["clients"]}
+        for client in sim.clients:
+            entry = by_id[int(client.client_id)]
+            client.variables = {
+                key_: np.asarray(value, dtype=np.float64)
+                for key_, value in entry["variables"].items()
+            }
+            client.rounds_participated = int(entry["rounds_participated"])
+            client.local_work_done = int(entry["local_work_done"])
+
+        for round_index in range(sim.state.rounds_run):
+            selected = sim.sampler.sample(
+                round_index, len(sim.clients), sim._sampling_rng
+            )
+            epochs_by_client = {
+                int(client_id): sim.local_work.epochs(
+                    int(client_id), round_index, sim._work_rng
+                )
+                for client_id in selected
+            }
+            sim.pipeline.simulate_systems(round_index, selected, epochs_by_client)
+        self.resumed_from_round = sim.state.rounds_run
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Request handling (called from HTTP handler threads)
+    # ------------------------------------------------------------------ #
+    def count_request(self, route: str) -> None:
+        self.metrics.counter(f"serve.requests.{route}").inc()
+
+    def handle_handshake(self, body: bytes) -> dict:
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"handshake body is not JSON: {exc}") from None
+        version = request.get("protocol_version")
+        if version != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"worker speaks protocol version {version!r}, server speaks "
+                f"{protocol.PROTOCOL_VERSION}",
+                code="version_mismatch",
+            )
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "config": dataclasses.asdict(self.config),
+            "algorithm": {"name": self.spec.name, "kwargs": dict(self.spec.kwargs)},
+            "codec": None if self.simulation.transport is None
+            else self.simulation.transport.codec.name,
+            "model_dim": self.model_dim,
+            "num_rounds": self.num_rounds,
+        }
+
+    def handle_task(self) -> bytes | None:
+        ticket = self.board.pull()
+        self.metrics.gauge("serve.pending_tasks").set(self.board.pending)
+        if ticket is None:
+            return None
+        self.metrics.counter("serve.download_payload_bytes").inc(len(ticket.frame))
+        return ticket.frame
+
+    def handle_submit(self, body: bytes) -> dict:
+        header, blobs = protocol.unpack_frame(body, self.max_frame_bytes)
+        if header.get("kind") != "submit":
+            raise ProtocolError(
+                f"expected a submit frame, got kind={header.get('kind')!r}"
+            )
+        decoded = protocol.decode_submit(header, blobs, self.simulation.transport)
+        ticket = self.board.client_of(decoded["task_id"])
+        if decoded["client_id"] != ticket.client_id:
+            raise ProtocolError(
+                f"submit for task {decoded['task_id']!r} names client "
+                f"{decoded['client_id']}, task belongs to {ticket.client_id}"
+            )
+        for key, vector in decoded["payload"].items():
+            if int(np.asarray(vector).size) not in self.allowed_dims:
+                raise ProtocolError(
+                    f"payload vector {key!r} has {np.asarray(vector).size} "
+                    f"scalars; the model template allows {sorted(self.allowed_dims)}"
+                )
+        message = ClientMessage(
+            client_id=decoded["client_id"],
+            payload=decoded["payload"],
+            num_samples=decoded["num_samples"],
+            local_epochs=decoded["local_epochs"],
+            train_loss=decoded["train_loss"],
+        )
+        client = ClientState(
+            client_id=decoded["client_id"],
+            dataset=None,
+            variables=decoded["variables"],
+            rounds_participated=decoded["rounds_participated"],
+            local_work_done=decoded["local_work_done"],
+        )
+        status = self.board.resolve(
+            decoded["task_id"], LocalUpdateOutcome(message=message, client=client)
+        )
+        if status == "ok":
+            codec = (
+                "raw"
+                if self.simulation.transport is None
+                else self.simulation.transport.codec.name
+            )
+            self.metrics.counter(f"serve.payload_bytes.{codec}").inc(
+                decoded["payload_bytes"]
+            )
+        return {"status": status, "task_id": decoded["task_id"]}
+
+    def status_snapshot(self) -> dict:
+        sim = self.simulation
+        counters = self.metrics.snapshot().get("counters", {})
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "algorithm": self.spec.label(),
+            "done": self.done,
+            "error": None if self.error is None else str(self.error),
+            "rounds_run": int(sim.state.rounds_run),
+            "num_rounds": self.num_rounds,
+            "resumed_from_round": self.resumed_from_round,
+            "pending_tasks": self.board.pending,
+            "reclaimed_tasks": self.board.reclaimed,
+            "duplicate_submissions": self.board.duplicates,
+            "simulated_seconds": sim.history.total_simulated_seconds(),
+            "round_latencies_s": list(self.round_latencies),
+            "codec": None if sim.transport is None else sim.transport.codec.name,
+            "ledger": {
+                "upload_wire_bytes": sim.ledger.upload_wire_bytes,
+                "download_wire_bytes": sim.ledger.download_wire_bytes,
+            },
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("serve.")
+            },
+        }
+
+
+def run_server(
+    config: ExperimentConfig,
+    algorithm: AlgorithmSpec,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    num_rounds: int | None = None,
+    lease_s: float = 30.0,
+    store_dir: str | None = None,
+    resume: bool = False,
+) -> FederationServer:
+    """Build, start, and return a :class:`FederationServer` (non-blocking)."""
+    server = FederationServer(
+        config,
+        algorithm,
+        host=host,
+        port=port,
+        num_rounds=num_rounds,
+        lease_s=lease_s,
+        store_dir=store_dir,
+        resume=resume,
+    )
+    server.start()
+    return server

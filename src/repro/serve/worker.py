@@ -1,0 +1,238 @@
+"""Federation worker: a separate process that computes local updates.
+
+A worker is stateless from the server's point of view.  It handshakes
+(refusing protocol-version mismatches), rebuilds the *identical* client
+environment from the experiment config — datasets, partition, and model
+are all deterministic functions of ``config.seed`` — then loops: pull a
+task frame, run the local update through the existing
+:func:`~repro.systems.executor.execute_task` seam, codec-encode the result,
+and push the submit frame.  Tasks carry integer seeds, so any worker (or a
+re-pull after this worker dies mid-task) computes the identical update the
+in-process simulation would have.
+
+Workers are plain functions so tests can spawn them with
+``multiprocessing.Process(target=run_worker, ...)`` and the CLI can run
+them with ``repro worker --url``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.algorithms import build_algorithm
+from repro.algorithms.base import LocalTrainingConfig
+from repro.exceptions import ProtocolError
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import prepare_environment
+from repro.federated.client import ClientState
+from repro.federated.local_problem import LocalProblem
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import build_model
+from repro.serve import protocol
+from repro.systems.compression import build_codec
+from repro.systems.executor import LocalUpdateTask, execute_task
+from repro.utils.rng import RngFactory
+
+
+class ServerClient:
+    """Minimal stdlib HTTP client with reconnect-on-failure."""
+
+    def __init__(self, url: str, timeout: float = 60.0):
+        parts = urlsplit(url)
+        if parts.scheme != "http" or parts.hostname is None:
+            raise ProtocolError(f"worker needs an http:// server URL, got {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def post(self, path: str, body: bytes) -> tuple[int, str, bytes]:
+        """POST once, reconnecting once on a dropped keep-alive connection."""
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(
+                    "POST",
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                response = conn.getresponse()
+                data = response.read()
+                return (
+                    response.status,
+                    response.headers.get("Content-Type", ""),
+                    data,
+                )
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt == 1:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+
+class WorkerEnvironment:
+    """Everything a worker rebuilds locally from the handshake config."""
+
+    def __init__(self, config: ExperimentConfig, algorithm_spec: dict[str, Any]):
+        self.config = config
+        self.algorithm = build_algorithm(
+            algorithm_spec["name"], **algorithm_spec.get("kwargs", {})
+        )
+        _, clients, _ = prepare_environment(config)
+        self.clients = clients
+        model = build_model(
+            config.model,
+            rng=RngFactory(config.seed).make("model-init"),
+            **config.model_kwargs,
+        )
+        loss = CrossEntropyLoss()
+        # One shared model template, mutated serially per task — the same
+        # discipline as a ProcessPool worker running its tasks in order.
+        self.problems = [
+            LocalProblem(model=model, loss=loss, dataset=client.dataset)
+            for client in clients
+        ]
+        self.codec = (
+            build_codec(config.codec, **config.codec_kwargs)
+            if config.codec is not None
+            else None
+        )
+
+    def execute(self, task: dict[str, Any]) -> bytes:
+        """Run one decoded task frame; return the submit frame."""
+        index = task["client_index"]
+        if not 0 <= index < len(self.clients):
+            raise ProtocolError(
+                f"task names client index {index}, population has "
+                f"{len(self.clients)} clients"
+            )
+        client = ClientState(
+            client_id=task["client_id"],
+            dataset=self.clients[index].dataset,
+            variables=task["variables"],
+            rounds_participated=task["rounds_participated"],
+            local_work_done=task["local_work_done"],
+        )
+        update = LocalUpdateTask(
+            client_index=index,
+            client=client,
+            global_params=task["global_params"],
+            server_state=task["server_state"],
+            config=LocalTrainingConfig(
+                epochs=task["epochs"],
+                batch_size=task["batch_size"],
+                learning_rate=task["learning_rate"],
+            ),
+            round_index=task["round_index"],
+            rng=task["seed"],
+        )
+        outcome = execute_task(update, self.problems[index], self.algorithm)
+        # The encode rng only matters for QSGD's stochastic rounding; keying
+        # it on the task seed makes a re-computed duplicate byte-identical.
+        return protocol.encode_submit(
+            task["task_id"],
+            outcome.message,
+            outcome.client,
+            self.codec,
+            rng=np.random.default_rng(task["seed"]),
+        )
+
+
+def handshake(client: ServerClient, worker_id: str | None = None) -> dict[str, Any]:
+    """Version-check against the server; returns its experiment description."""
+    body = json.dumps(
+        {"protocol_version": protocol.PROTOCOL_VERSION, "worker": worker_id}
+    ).encode("utf-8")
+    status, _, data = client.post("/v1/handshake", body)
+    if status == 426:
+        raise ProtocolError(
+            f"server refused the handshake: {data.decode('utf-8', 'replace')}",
+            code="version_mismatch",
+        )
+    if status != 200:
+        raise ProtocolError(
+            f"handshake failed with HTTP {status}: "
+            f"{data.decode('utf-8', 'replace')}"
+        )
+    return json.loads(data.decode("utf-8"))
+
+
+def run_worker(
+    url: str,
+    max_tasks: int | None = None,
+    poll_interval: float = 0.05,
+    delay_fn: Callable[[dict[str, Any]], float] | None = None,
+    stop_check: Callable[[], bool] | None = None,
+    max_failures: int = 50,
+    worker_id: str | None = None,
+) -> int:
+    """Serve one federation server until it reports done; returns tasks run.
+
+    ``delay_fn`` (decoded task dict → seconds) injects per-task latency —
+    the load generator uses it to replay heterogeneous client compute/
+    network profiles; fault tests use it to hold a task past its lease.
+    ``stop_check`` lets an embedding thread ask the loop to exit early.
+    """
+    client = ServerClient(url)
+    try:
+        info = handshake(client, worker_id=worker_id)
+        env = WorkerEnvironment(
+            ExperimentConfig(**info["config"]), info["algorithm"]
+        )
+        completed = 0
+        failures = 0
+        while max_tasks is None or completed < max_tasks:
+            if stop_check is not None and stop_check():
+                break
+            try:
+                status, content_type, data = client.post("/v1/task", b"")
+            except (http.client.HTTPException, OSError):
+                failures += 1
+                if failures >= max_failures:
+                    break
+                time.sleep(poll_interval)
+                continue
+            failures = 0
+            if content_type.startswith("application/json"):
+                payload = json.loads(data.decode("utf-8"))
+                if status != 200 or payload.get("done"):
+                    break
+                time.sleep(poll_interval)
+                continue
+            header, blobs = protocol.unpack_frame(data)
+            task = protocol.decode_task(header, blobs)
+            if delay_fn is not None:
+                time.sleep(max(0.0, delay_fn(task)))
+            frame = env.execute(task)
+            try:
+                client.post("/v1/submit", frame)
+            except (http.client.HTTPException, OSError):
+                failures += 1
+                if failures >= max_failures:
+                    break
+                continue
+            completed += 1
+        return completed
+    finally:
+        client.close()

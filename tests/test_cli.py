@@ -338,3 +338,70 @@ class TestCliObservability:
         assert "status: done (as of" in out
         assert "run duration:" in out
         assert "upload_wire_bytes:" in out
+
+
+class TestCliServe:
+    """The networked-runtime subcommands (see repro.serve and repro.cli)."""
+
+    def test_serve_self_contained_smoke(self, tmp_path, capsys):
+        output = tmp_path / "serve.json"
+        code = main(
+            ["serve", "--rounds", "2", "--workers", "2",
+             "--output", str(output)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving serve-blobs-noniid / fedavg at http://" in out
+        assert "rounds_run: 2" in out
+        status = json.loads(output.read_text())
+        assert status["rounds_run"] == 2
+        assert status["done"] is True
+
+    def test_loadtest_reports_and_saves_json(self, tmp_path, capsys):
+        output = tmp_path / "load.json"
+        code = main(
+            ["loadtest", "--max-rounds", "2", "--time-scale", "0.001",
+             "--output", str(output)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds_per_sec:" in out and "p99_round_latency_seconds:" in out
+        report = json.loads(output.read_text())
+        assert report["rounds"] == 2
+        # float16: the bytes observed in HTTP bodies equal the ledger's
+        # nominal accounting, and the closed-form expectation, exactly.
+        assert (
+            report["real_upload_payload_bytes"]
+            == report["ledger_upload_wire_bytes"]
+            == report["expected_real_upload_bytes"]
+        )
+
+    def test_worker_against_live_server(self, capsys):
+        import threading
+
+        from repro.experiments.configs import AlgorithmSpec, serve_config
+        from repro.serve.server import FederationServer
+
+        server = FederationServer(
+            serve_config(), AlgorithmSpec("fedavg"), num_rounds=1
+        )
+        server.start()
+        try:
+            thread = threading.Thread(
+                target=main, args=(["worker", server.url],), daemon=True
+            )
+            thread.start()
+            server.wait(timeout=120)
+        finally:
+            server.stop()
+        thread.join(timeout=30)
+        assert "completed" in capsys.readouterr().out
+
+    def test_serve_flag_errors_fail_fast_without_traceback(self, capsys):
+        # Same one-line `error: ...` + exit 2 contract as the studies.
+        assert main(["loadtest", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+        assert main(["worker", "ftp://nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err

@@ -1,0 +1,126 @@
+"""End-to-end networked federation: server + worker *processes* on loopback.
+
+The serve layer's central claim, checked for real: spawn a
+:class:`~repro.serve.server.FederationServer` plus N separate worker
+processes, run fedavg and fedadmm for a few rounds over actual HTTP, and
+the :class:`TrainingHistory` is **bit-identical** to the in-process
+simulation with the same seeds — not approximately equal, byte-for-byte
+the same floats.  Tasks flow through the isolated-executor seam (integer
+seeds derived from round/client labels), so which worker computes which
+update, and in what order, cannot matter.
+
+The second claim: the ledger's nominal wire accounting corresponds to real
+bytes in the HTTP bodies.  For float16 the packed payload equals the
+nominal ``codec.wire_bytes`` exactly; for identity the real float64 body
+is exactly twice the nominal float32 accounting.  Both relations are
+asserted against the server's byte counters, which measure the actual
+submit-frame payload blobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import AlgorithmSpec, serve_config
+from repro.experiments.runner import build_simulation
+from repro.serve.loadgen import expected_real_bytes
+from repro.serve.server import FederationServer
+from repro.serve.worker import run_worker
+
+ROUNDS = 3
+WORKERS = 2
+
+
+def serve_run(config, spec, rounds=ROUNDS, num_workers=WORKERS, **server_kwargs):
+    """One networked run: returns (server, SimulationResult)."""
+    server = FederationServer(config, spec, num_rounds=rounds, **server_kwargs)
+    server.start()
+    processes = [
+        multiprocessing.Process(
+            target=run_worker,
+            kwargs=dict(url=server.url, worker_id=f"e2e-{index}"),
+            daemon=True,
+        )
+        for index in range(num_workers)
+    ]
+    for process in processes:
+        process.start()
+    try:
+        result = server.wait(timeout=300)
+    finally:
+        server.stop()
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - cleanup only
+                process.terminate()
+    return server, result
+
+
+def reference_run(config, spec, rounds=ROUNDS):
+    """The in-process ground truth: same config, isolated thread executor.
+
+    The serve layer hands every task an integer seed through the isolated
+    executor seam, so its ground truth is the isolated in-process executor
+    (``executor="thread"``), not the shared-rng serial default.
+    """
+    sim = build_simulation(config.with_overrides(executor="thread"), spec)
+    return sim.run(rounds, target_accuracy=None)
+
+
+def assert_bit_identical(networked, reference):
+    """Histories, final params, and ledgers must match exactly."""
+    assert networked.algorithm == reference.algorithm
+    assert len(networked.history.records) == len(reference.history.records)
+    for served, simulated in zip(
+        networked.history.records, reference.history.records
+    ):
+        assert dataclasses.asdict(served) == dataclasses.asdict(simulated)
+    assert np.array_equal(networked.final_params, reference.final_params)
+    networked_ledger = dataclasses.asdict(networked.ledger)
+    reference_ledger = dataclasses.asdict(reference.ledger)
+    assert networked_ledger == reference_ledger
+
+
+@pytest.mark.parametrize("algorithm", ["fedavg", "fedadmm"])
+def test_networked_history_bit_identical_to_simulation(algorithm):
+    config = serve_config()
+    spec = AlgorithmSpec(algorithm)
+    server, networked = serve_run(config, spec)
+    reference = reference_run(config, spec)
+    assert_bit_identical(networked, reference)
+
+    # Real bytes on the wire: float16's packed payload equals the ledger's
+    # nominal wire accounting exactly, per codec design.
+    counters = server.metrics.snapshot()["counters"]
+    real_bytes = int(counters["serve.payload_bytes.float16"])
+    assert real_bytes == networked.ledger.upload_wire_bytes
+    assert real_bytes == expected_real_bytes(server)
+    assert server.board.reclaimed == 0
+    assert server.board.duplicates == 0
+
+
+def test_identity_codec_real_bytes_are_double_the_nominal():
+    """identity ships float64 on the wire against float32 nominal accounting."""
+    config = serve_config(codec="identity")
+    spec = AlgorithmSpec("fedavg")
+    server, networked = serve_run(config, spec)
+    reference = reference_run(config, spec)
+    assert_bit_identical(networked, reference)
+
+    counters = server.metrics.snapshot()["counters"]
+    real_bytes = int(counters["serve.payload_bytes.identity"])
+    assert real_bytes == 2 * networked.ledger.upload_wire_bytes
+    assert real_bytes == expected_real_bytes(server)
+
+
+def test_networked_run_with_more_workers_than_tasks_is_identical():
+    """Worker count is a scheduling detail; four processes, same bits."""
+    config = serve_config()
+    spec = AlgorithmSpec("fedadmm")
+    _, networked = serve_run(config, spec, rounds=2, num_workers=4)
+    reference = reference_run(config, spec, rounds=2)
+    assert_bit_identical(networked, reference)

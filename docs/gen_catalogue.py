@@ -72,12 +72,18 @@ def _flags(study) -> str:
 
 
 def _support(study) -> str:
-    """Supported execution-plan modes and executors, from the registry."""
+    """Supported modes, executors, and adversaries, from the registry."""
     if not study.modes and not study.executors:
         return "— (no training)"
+    adversaries = (
+        ", ".join(f"`{a}`" for a in study.adversaries)
+        if study.adversaries
+        else "none"
+    )
     return (
         f"modes: {', '.join(f'`{m}`' for m in study.modes)}"
         f"<br>executors: {', '.join(f'`{e}`' for e in study.executors)}"
+        f"<br>adversaries: {adversaries}"
     )
 
 

@@ -1,0 +1,154 @@
+"""FedDropoutAvg (Gunesli et al., 2021).
+
+Each selected client trains like FedAvg but uploads a randomly *masked*
+model: a per-client binary dropout mask zeroes a fraction of the trained
+coordinates, and the server averages each coordinate over only the clients
+that reported it.  The random masks act as aggregation-level dropout —
+a regulariser against client-specific overfitting — and shrink the useful
+upload (zeroed coordinates compress away under sparsifying codecs).
+
+The mask travels in the payload (``"mask"``) so the server-side
+mask-aware average stays a pure function of the messages; coordinates no
+client reported fall back to the previous global value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    FederatedAlgorithm,
+    LocalTrainingConfig,
+    UpdateAccumulator,
+    run_local_sgd,
+)
+from repro.exceptions import ConfigurationError
+from repro.federated.client import ClientState
+from repro.federated.local_problem import LocalProblem
+from repro.federated.messages import ClientMessage
+from repro.utils.rng import SeedLike, as_rng
+
+
+class MaskedAverageAccumulator(UpdateAccumulator):
+    """Constant-memory mask-aware reduction: masked sum + per-coordinate count.
+
+    NumPy's sequential row accumulation makes the running sums reproduce
+    the batch ``aggregate`` bit for bit; ``merge`` adopts the first shard's
+    arrays unchanged so a single-shard hierarchy finalises the exact arrays
+    its edge tier built.
+    """
+
+    def __init__(
+        self, global_params: np.ndarray, num_clients: int, round_index: int
+    ):
+        super().__init__(num_clients, round_index)
+        self.global_params = global_params
+        self.masked_total: np.ndarray | None = None
+        self.mask_total: np.ndarray | None = None
+
+    def accumulate(self, message: ClientMessage) -> None:
+        params = message.payload["params"]
+        mask = message.payload["mask"]
+        if self.masked_total is None:
+            self.masked_total = np.array(params, dtype=np.float64, copy=True)
+            self.mask_total = np.array(mask, dtype=np.float64, copy=True)
+        else:
+            self.masked_total += params
+            self.mask_total += mask
+        self.count += 1
+
+    def merge(self, other: "MaskedAverageAccumulator") -> None:
+        if other.count == 0:
+            return
+        if self.masked_total is None:
+            self.masked_total = other.masked_total
+            self.mask_total = other.mask_total
+        else:
+            self.masked_total += other.masked_total
+            self.mask_total += other.mask_total
+        self.count += other.count
+
+    def finalise(self) -> np.ndarray:
+        if self.count == 0 or self.masked_total is None:
+            raise ConfigurationError("FedDropoutAvg accumulator has no messages")
+        reported = self.mask_total > 0
+        out = np.array(self.global_params, dtype=np.float64, copy=True)
+        out[reported] = self.masked_total[reported] / self.mask_total[reported]
+        return out
+
+
+class FedDropoutAvg(FederatedAlgorithm):
+    """FedAvg with per-client random model dropout before upload."""
+
+    name = "feddropoutavg"
+    #: Mask-aware aggregation needs every mask from one lock-step cohort;
+    #: a stale masked model has no meaningful delta against newer params.
+    supports_async = False
+    #: The per-client mask draw happens inside local_update, after SGD, so
+    #: the batched kernel path cannot reproduce it; the vectorized executor
+    #: falls back to bit-identical per-task execution.
+    supports_batched = False
+
+    def __init__(self, dropout_rate: float = 0.25):
+        if not 0 <= dropout_rate < 1:
+            raise ConfigurationError(
+                f"dropout_rate must lie in [0, 1), got {dropout_rate}"
+            )
+        self.dropout_rate = dropout_rate
+
+    def local_update(
+        self,
+        problem: LocalProblem,
+        client: ClientState,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        config: LocalTrainingConfig,
+        round_index: int = 0,
+        rng: SeedLike = None,
+    ) -> ClientMessage:
+        rng = as_rng(rng)
+        params, train_loss = run_local_sgd(problem, global_params, config, rng=rng)
+        # The mask is drawn *after* training from the same task stream, so
+        # the SGD trajectory is identical to FedAvg's for a fixed seed.
+        mask = (rng.random(params.size) >= self.dropout_rate).astype(np.float64)
+        client.record_participation(config.epochs)
+        return ClientMessage(
+            client_id=client.client_id,
+            payload={"params": params * mask, "mask": mask},
+            num_samples=problem.num_samples,
+            local_epochs=config.epochs,
+            train_loss=train_loss,
+            metadata={"dropout_rate": self.dropout_rate},
+        )
+
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        messages: list[ClientMessage],
+        num_clients: int,
+        round_index: int,
+    ) -> np.ndarray:
+        if not messages:
+            raise ConfigurationError(
+                "FedDropoutAvg.aggregate needs at least one message"
+            )
+        accumulator = self.make_accumulator(
+            global_params, server_state, num_clients, round_index
+        )
+        for message in messages:
+            accumulator.accumulate(message)
+        return accumulator.finalise()
+
+    def make_accumulator(
+        self,
+        global_params: np.ndarray,
+        server_state: dict[str, np.ndarray],
+        num_clients: int,
+        round_index: int,
+    ) -> MaskedAverageAccumulator:
+        return MaskedAverageAccumulator(global_params, num_clients, round_index)
+
+    def upload_vector_dims(self, dim: int) -> tuple[int, ...]:
+        # The masked model plus its binary mask both travel on the wire.
+        return (dim, dim)

@@ -86,6 +86,18 @@ def _shared_flags() -> argparse.ArgumentParser:
     systems.add_argument("--network", default=None, choices=sorted(NETWORK_REGISTRY),
                          help="per-client bandwidth/latency/compute model "
                               "producing simulated round durations")
+    systems.add_argument("--adversary", default=None,
+                         help="adversarial client behaviour "
+                              "(sign_flip, gaussian_noise, scale, label_flip); "
+                              "see docs/tutorials/robustness.md")
+    systems.add_argument("--adversary-fraction", type=float, default=None,
+                         dest="adversary_fraction",
+                         help="fraction of the population that misbehaves "
+                              "(preset default 0.2 on the robustness study)")
+    systems.add_argument("--defense", default=None,
+                         help="robust aggregation defense "
+                              "(median, trimmed_mean, norm_clip); unknown "
+                              "names fail fast with exit code 2")
     systems.add_argument("--executor", default=None, choices=sorted(EXECUTOR_REGISTRY),
                          help="how local updates run: serial, thread/process "
                               "pool, or vectorized (stacked-NumPy cohorts)")
@@ -196,8 +208,62 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="list: only these statuses; "
                            "clean: drop these statuses "
                            "(default: pending/running/failed)")
+    _add_contributions_parser(subparsers)
     _add_serve_parsers(subparsers)
     return parser
+
+
+def _add_contributions_parser(subparsers) -> None:
+    """The `contributions` subcommand (client data valuation)."""
+    from repro.algorithms import ALGORITHM_REGISTRY
+
+    contributions = subparsers.add_parser(
+        "contributions",
+        help="score each client's contribution (leave-one-out / Shapley)",
+        description="Value every client's participation by re-running the "
+                    "federation on client coalitions: leave-one-out "
+                    "deltas or truncated Monte-Carlo Shapley scores. "
+                    "Coalition utilities are cached as stored run "
+                    "histories under --store-dir, so repeat invocations "
+                    "reuse every run already paid for "
+                    "(see docs/tutorials/robustness.md).",
+    )
+    contributions.add_argument("--method", default="loo",
+                               choices=["loo", "shapley"])
+    contributions.add_argument("--dataset", default="blobs",
+                               choices=["mnist", "fmnist", "cifar10", "blobs"])
+    contributions.add_argument("--iid", action="store_true",
+                               help="use the IID partition "
+                                    "(default: non-IID shards)")
+    contributions.add_argument("--clients", type=int, default=8,
+                               help="population size to value (each "
+                                    "coalition is a full run; keep small)")
+    contributions.add_argument("--rounds", type=int, default=5,
+                               help="rounds per coalition run")
+    contributions.add_argument("--algorithm", default="fedavg",
+                               choices=sorted(ALGORITHM_REGISTRY))
+    contributions.add_argument("--rho", type=float, default=0.3,
+                               help="FedADMM proximal coefficient")
+    contributions.add_argument("--seed", type=int, default=0)
+    contributions.add_argument("--adversary", default=None,
+                               help="inject adversarial clients first "
+                                    "(they should score near zero)")
+    contributions.add_argument("--adversary-fraction", type=float,
+                               default=0.2, dest="adversary_fraction")
+    contributions.add_argument("--defense", default=None,
+                               help="robust aggregation defense for the "
+                                    "coalition runs")
+    contributions.add_argument("--permutations", type=int, default=10,
+                               help="Shapley: sampled permutations")
+    contributions.add_argument("--tolerance", type=float, default=0.01,
+                               help="Shapley: truncate a permutation walk "
+                                    "once the prefix utility is this close "
+                                    "to the full-coalition utility")
+    contributions.add_argument("--store-dir", default=None,
+                               help="cache coalition utilities here "
+                                    "(default: in-memory only)")
+    contributions.add_argument("--output", default=None,
+                               help="optional path to save the report JSON")
 
 
 def _add_serve_parsers(subparsers) -> None:
@@ -533,6 +599,65 @@ def handle_loadtest(args: Any) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# The `contributions` subcommand (client data valuation)
+# --------------------------------------------------------------------------- #
+def handle_contributions(args: Any) -> int:
+    """Implement ``repro contributions``: leave-one-out / Shapley valuation."""
+    from pathlib import Path
+
+    from repro.experiments.configs import AlgorithmSpec, robustness_config
+    from repro.experiments.contributions import UtilityCache, compute_contributions
+
+    config = robustness_config(
+        dataset=args.dataset,
+        non_iid=not args.iid,
+        seed=args.seed,
+        adversary=args.adversary,
+        adversary_fraction=args.adversary_fraction if args.adversary else 0.0,
+        defense=args.defense,
+    )
+    config = config.with_overrides(
+        name=f"contributions-{args.dataset}-{'iid' if args.iid else 'noniid'}",
+        num_clients=args.clients,
+        num_rounds=args.rounds,
+    )
+    kwargs = {"rho": args.rho} if args.algorithm == "fedadmm" else {}
+    spec = AlgorithmSpec(args.algorithm, kwargs)
+    cache = UtilityCache(
+        Path(args.store_dir) / "contributions"
+        / f"{config.name}-{spec.label()}-n{config.num_clients}"
+          f"-r{config.num_rounds}-s{config.seed}.json"
+        if args.store_dir is not None
+        else None
+    )
+    report = compute_contributions(
+        config, spec,
+        method=args.method,
+        permutations=args.permutations,
+        tolerance=args.tolerance,
+        cache=cache,
+    )
+    print(f"{args.method} contribution scores for {config.name} / "
+          f"{spec.label()} ({args.clients} clients, {args.rounds} rounds)")
+    print(f"utility(all clients) = {report.utility_full:.4f}   "
+          f"utility(no clients) = {report.utility_empty:.4f}")
+    rows = [
+        {"client": client, "score": f"{score:+.4f}"}
+        for client, score in report.ranked()
+    ]
+    print(format_table(rows))
+    reuse = f", {report.runs_reused} reused from cache" if report.runs_reused else ""
+    print(f"{report.runs_executed} coalition run(s) executed{reuse}")
+    if args.method == "shapley":
+        print(f"permutations: {report.permutations} "
+              f"(truncated walks: {report.metadata['truncated_walks']})")
+    if args.output:
+        path = save_json(report.to_payload(), args.output)
+        print(f"Saved contribution report to {path}")
+    return 0
+
+
 def _support_summary(study) -> str:
     """One-line modes/executors support summary for a study listing."""
     if not study.modes and not study.executors:
@@ -559,11 +684,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "runs":
         return handle_runs(args)
-    if args.experiment in ("serve", "worker", "loadtest"):
+    if args.experiment in ("serve", "worker", "loadtest", "contributions"):
         handler = {
             "serve": handle_serve,
             "worker": handle_worker,
             "loadtest": handle_loadtest,
+            "contributions": handle_contributions,
         }[args.experiment]
         try:
             return handler(args)

@@ -94,6 +94,15 @@ class ExperimentConfig:
     # mode="sync"; a 1-shard hierarchy is bit-identical to flat.
     plan: str = "flat"
     num_shards: int = 1
+    # Adversarial federation (see repro.systems.adversaries): a behaviour
+    # from ADVERSARY_REGISTRY exhibited by round(adversary_fraction * m)
+    # clients, and an optional robust-aggregation defense from
+    # DEFENSE_REGISTRY wrapped around the algorithm's server-side
+    # combination.  Defenses rank one synchronous cohort's updates against
+    # each other, so defense requires mode="sync".
+    adversary: str | None = None
+    adversary_fraction: float = 0.0
+    defense: str | None = None
 
     def __post_init__(self) -> None:
         # Normalise the two plan spellings: async_mode=True is shorthand for
@@ -144,6 +153,37 @@ class ExperimentConfig:
                 "the hierarchical plan is a sharded synchronous round; "
                 f"it cannot be combined with mode={self.mode!r}"
             )
+        if not 0 <= self.adversary_fraction <= 1:
+            raise ConfigurationError("adversary_fraction must lie in [0, 1]")
+        if self.adversary is not None or self.defense is not None:
+            from repro.systems.adversaries import (
+                ADVERSARY_REGISTRY,
+                DEFENSE_REGISTRY,
+            )
+
+            if self.adversary is not None:
+                if self.adversary not in ADVERSARY_REGISTRY:
+                    raise ConfigurationError(
+                        f"unknown adversary {self.adversary!r}; "
+                        f"available: {sorted(ADVERSARY_REGISTRY)}"
+                    )
+                if self.adversary_fraction <= 0:
+                    raise ConfigurationError(
+                        "an adversary needs adversary_fraction > 0 "
+                        "(the fraction of clients that misbehave)"
+                    )
+            if self.defense is not None:
+                if self.defense not in DEFENSE_REGISTRY:
+                    raise ConfigurationError(
+                        f"unknown defense {self.defense!r}; "
+                        f"available: {sorted(DEFENSE_REGISTRY)}"
+                    )
+                if self.mode != "sync":
+                    raise ConfigurationError(
+                        "robust aggregation defenses rank one synchronous "
+                        "cohort's updates against each other; they cannot "
+                        f"be combined with mode={self.mode!r}"
+                    )
         if self.backend is not None:
             from repro.nn.backend import BACKEND_REGISTRY
 
@@ -538,6 +578,42 @@ def serve_config(
         codec=codec,
         network=network,
         mode=mode,
+    )
+
+
+def robustness_config(
+    dataset: str = "blobs",
+    non_iid: bool = True,
+    scale: str = "bench",
+    seed: int = 0,
+    adversary: str | None = "sign_flip",
+    adversary_fraction: float = 0.2,
+    defense: str | None = None,
+) -> ExperimentConfig:
+    """Adversarial-federation scenario: byzantine/poisoning clients.
+
+    The regime behind the paper's hostile-participation robustness claims:
+    a fifth of the population misbehaves (sign-flipped updates by default)
+    and the server optionally screens each cohort with a robust
+    aggregation defense.  A larger cohort than the paper presets
+    (``client_fraction=0.4``) so the honest majority is statistically
+    meaningful per round.
+    """
+    _check_scale(scale)
+    num_clients = 100 if scale == "paper" else 30
+    config = _base_config(
+        name=f"robustness-{dataset}-{'noniid' if non_iid else 'iid'}",
+        dataset=dataset,
+        num_clients=num_clients,
+        non_iid=non_iid,
+        scale=scale,
+        seed=seed,
+    )
+    return config.with_overrides(
+        client_fraction=0.4,
+        adversary=adversary,
+        adversary_fraction=adversary_fraction,
+        defense=defense,
     )
 
 

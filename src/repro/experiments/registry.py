@@ -38,6 +38,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 ALL_MODES = ("sync", "semisync", "async")
 ALL_EXECUTORS = ("serial", "thread", "process", "vectorized")
 
+#: Every adversarial client behaviour the runtime ships (pinned against the
+#: live ``ADVERSARY_REGISTRY`` by a test, like the modes/executors above).
+#: Studies whose sweeps run federated training accept ``--adversary`` for
+#: any of these by default; closed-form and mode-locked studies opt out.
+ALL_ADVERSARIES = ("sign_flip", "gaussian_noise", "scale", "label_flip")
+
 #: Config fields the shared CLI flags override after the preset is built;
 #: ``None`` values mean "flag not given, keep the preset's value".
 OVERRIDE_FIELDS = (
@@ -56,6 +62,9 @@ OVERRIDE_FIELDS = (
     "max_concurrency",
     "staleness",
     "round_deadline_s",
+    "adversary",
+    "adversary_fraction",
+    "defense",
 )
 
 
@@ -179,6 +188,10 @@ class Study:
     modes: tuple[str, ...] = ALL_MODES
     #: Client executors a request may select via ``--executor``.
     executors: tuple[str, ...] = ALL_EXECUTORS
+    #: Adversarial behaviours a request may inject via ``--adversary``.
+    #: Empty for closed-form studies and for studies whose comparison a
+    #: hostile population would invalidate.
+    adversaries: tuple[str, ...] = ALL_ADVERSARIES
 
     def __post_init__(self) -> None:
         if self.summarise is None:
@@ -196,6 +209,12 @@ class Study:
             if executor not in ALL_EXECUTORS:
                 raise ConfigurationError(
                     f"study {self.name!r} declares unknown executor {executor!r}"
+                )
+        for adversary in self.adversaries:
+            if adversary not in ALL_ADVERSARIES:
+                raise ConfigurationError(
+                    f"study {self.name!r} declares unknown adversary "
+                    f"{adversary!r}"
                 )
 
     def check_request(self, request: StudyRequest) -> None:
@@ -226,6 +245,13 @@ class Study:
                     f"study {self.name!r} cannot run --plan hierarchical: "
                     "it requires synchronous lock-step rounds"
                 )
+        requested_adversary = request.overrides.get("adversary")
+        if requested_adversary is not None and requested_adversary not in self.adversaries:
+            raise ConfigurationError(
+                f"study {self.name!r} does not support --adversary "
+                f"{requested_adversary}; supported adversaries: "
+                f"{', '.join(self.adversaries) or 'none'}"
+            )
         requested_executor = request.overrides.get("executor")
         if requested_executor is not None and requested_executor not in self.executors:
             raise ConfigurationError(

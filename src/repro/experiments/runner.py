@@ -52,6 +52,11 @@ from repro.systems import (
     build_executor,
     build_network,
 )
+from repro.systems.adversaries import (
+    DefendedAlgorithm,
+    build_adversary,
+    build_defense,
+)
 from repro.utils.rng import RngFactory
 
 #: Algorithms that, per the paper's protocol, tolerate variable local work
@@ -106,6 +111,11 @@ def build_simulation(
     """
     if isinstance(algorithm, AlgorithmSpec):
         algorithm = build_algorithm(algorithm.name, **algorithm.kwargs)
+    if config.defense is not None:
+        # The wrapper screens every cohort with the robust transform before
+        # delegating to the inner algorithm's own aggregation; local
+        # training is untouched.
+        algorithm = DefendedAlgorithm(algorithm, build_defense(config.defense))
     if clients is None or split is None:
         split, clients, _ = prepare_environment(config)
 
@@ -125,6 +135,11 @@ def build_simulation(
         if config.dropout > 0 or config.deadline_s is not None
         else None
     )
+    adversary = (
+        build_adversary(config.adversary, fraction=config.adversary_fraction)
+        if config.adversary is not None
+        else None
+    )
 
     common = dict(
         algorithm=algorithm,
@@ -141,6 +156,7 @@ def build_simulation(
         transport=transport,
         network=network,
         faults=faults,
+        adversary=adversary,
         executor=executor
         if executor is not None
         else build_executor(

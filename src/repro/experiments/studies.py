@@ -43,6 +43,7 @@ from repro.experiments.configs import (
     fig6_config,
     fig8_config,
     fig9_config,
+    robustness_config,
     semisync_config,
     systems_config,
     table3_config,
@@ -450,9 +451,11 @@ STUDIES.add(Study(
     build_config=lambda request: None,
     sweep=_table1_sweep,
     summarise=_print_rows,
-    # Closed form: no federated training, so no plan or executor applies.
+    # Closed form: no federated training, so no plan, executor, or
+    # adversary applies.
     modes=(),
     executors=(),
+    adversaries=(),
 ))
 
 
@@ -866,6 +869,130 @@ STUDIES.add(Study(
     summarise=_systems_report,
     flags=(StudyFlag("--dropout-rates", {"nargs": "+", "type": float,
                                          "help": "dropout rates to sweep"}),),
+))
+
+
+def _robustness_fractions(
+    config: ExperimentConfig, request: StudyRequest
+) -> tuple[float, ...]:
+    fractions = request.option("adversary_fractions")
+    if fractions is None:
+        fractions = (0.0, config.adversary_fraction or 0.2)
+    return tuple(dict.fromkeys(float(f) for f in fractions))
+
+
+def _robustness_defenses(
+    config: ExperimentConfig, request: StudyRequest
+) -> tuple[str, ...]:
+    defenses = request.option("defenses")
+    if defenses is None:
+        defenses = ("none", config.defense or "median")
+    return tuple(dict.fromkeys(defenses))
+
+
+def _robustness_cell_config(
+    config: ExperimentConfig, fraction: float, defense: str
+) -> ExperimentConfig:
+    overrides: dict = {
+        "adversary_fraction": fraction,
+        "defense": None if defense == "none" else defense,
+        "name": f"{config.name}-adv{fraction}-{defense}",
+    }
+    if fraction == 0:
+        # The clean reference cell: no adversary at all.
+        overrides["adversary"] = None
+    return config.with_overrides(**overrides)
+
+
+def _robustness_algorithms(request: StudyRequest) -> list[AlgorithmSpec]:
+    return [
+        AlgorithmSpec("fedadmm", {"rho": request.rho}),
+        AlgorithmSpec("fedavg", {}),
+    ]
+
+
+def _robustness_specs(
+    config: ExperimentConfig, request: StudyRequest
+) -> list[RunSpec]:
+    return [
+        spec
+        for fraction in _robustness_fractions(config, request)
+        for defense in _robustness_defenses(config, request)
+        for spec in comparison_specs(
+            "robustness",
+            _robustness_cell_config(config, fraction, defense),
+            _robustness_algorithms(request),
+            stop_at_target=False,
+            prefix=(fraction, defense),
+        )
+    ]
+
+
+def _robustness_collect(results, config: ExperimentConfig, request: StudyRequest):
+    return {
+        (fraction, defense): collect_comparison(
+            results,
+            _robustness_cell_config(config, fraction, defense),
+            prefix=(fraction, defense),
+        )
+        for fraction in _robustness_fractions(config, request)
+        for defense in _robustness_defenses(config, request)
+    }
+
+
+def _robustness_report(
+    studies: "dict[tuple[float, str], ComparisonResult]", request: StudyRequest
+) -> dict:
+    rows = []
+    clean: dict[str, float | None] = {}
+    for (fraction, defense), comparison in studies.items():
+        for label, result in comparison.results.items():
+            accuracy = result.history.final_accuracy()
+            if fraction == 0 and label not in clean:
+                clean[label] = accuracy
+            reference = clean.get(label)
+            rows.append(
+                {
+                    "adversary": (
+                        comparison.config.adversary if fraction else "none"
+                    ),
+                    "fraction": fraction,
+                    "defense": defense,
+                    "algorithm": label,
+                    "final_accuracy": accuracy,
+                    "degradation_vs_clean": (
+                        None
+                        if reference is None or accuracy is None
+                        else reference - accuracy
+                    ),
+                }
+            )
+    return _print_rows(rows, request)
+
+
+STUDIES.add(Study(
+    name="robustness",
+    description="Robust    — byzantine/poisoning adversaries vs robust aggregation defenses",
+    build_config=lambda request: robustness_config(
+        request.dataset, non_iid=request.non_iid, scale=request.scale,
+        seed=request.seed,
+    ),
+    specs=_robustness_specs,
+    collect=_robustness_collect,
+    summarise=_robustness_report,
+    flags=(
+        StudyFlag("--adversary-fractions", {
+            "nargs": "+", "type": float,
+            "help": "adversarial population fractions to sweep "
+                    "(default: 0.0 and the preset fraction)"}),
+        StudyFlag("--defenses", {
+            "nargs": "+",
+            "help": "defenses to sweep ('none', 'median', 'trimmed_mean', "
+                    "'norm_clip'; default: none and median)"}),
+    ),
+    # Defenses rank one lock-step cohort's updates against each other, so
+    # the attacked-vs-defended comparison only exists under sync rounds.
+    modes=("sync",),
 ))
 
 

@@ -48,6 +48,7 @@ from repro.obs.trace import Tracer
 from repro.utils.rng import RngFactory
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
+    from repro.systems.adversaries import AdversaryModel
     from repro.systems.executor import ClientExecutor
     from repro.systems.faults import FaultInjector
     from repro.systems.network import NetworkModel
@@ -100,6 +101,7 @@ class FederatedSimulation:
         transport: Transport | None = None,
         network: NetworkModel | None = None,
         faults: FaultInjector | None = None,
+        adversary: AdversaryModel | None = None,
         executor: ClientExecutor | None = None,
         plan: ExecutionPlan | None = None,
         tracer: Tracer | None = None,
@@ -150,6 +152,7 @@ class FederatedSimulation:
             transport=transport,
             network=network,
             faults=faults,
+            adversary=adversary,
             tracer=tracer,
             metrics=metrics,
             profiler=profiler,
@@ -233,6 +236,10 @@ class FederatedSimulation:
     @property
     def faults(self) -> FaultInjector | None:
         return self.pipeline.faults
+
+    @property
+    def adversary(self) -> AdversaryModel | None:
+        return self.pipeline.adversary
 
     @property
     def _rounds_run(self) -> int:

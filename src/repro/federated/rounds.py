@@ -40,6 +40,7 @@ from repro.obs.trace import Tracer
 from repro.utils.rng import RngFactory, SeedLike
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package import cycle
+    from repro.systems.adversaries import AdversaryModel
     from repro.systems.executor import ClientExecutor, LocalUpdateOutcome
     from repro.systems.faults import FaultInjector
     from repro.systems.network import ClientSystemProfile, NetworkModel
@@ -78,6 +79,7 @@ class ClientWorkPipeline:
         transport: Transport | None = None,
         network: NetworkModel | None = None,
         faults: FaultInjector | None = None,
+        adversary: AdversaryModel | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         profiler: Profiler | None = None,
@@ -88,6 +90,7 @@ class ClientWorkPipeline:
         self.transport = transport
         self.network = network
         self.faults = faults
+        self.adversary = adversary
         self.batch_size = batch_size
         self.learning_rate = learning_rate
         self.dim = model.get_flat_params().size
@@ -110,6 +113,29 @@ class ClientWorkPipeline:
             self.profiles = network.profiles(
                 len(clients), rng_factory.make("network")
             )
+
+        # Adversarial clients are chosen once per simulation from their own
+        # RNG stream — a property of the seed, not of executor or plan.
+        # Data poisoners (label_flip) swap the chosen clients' datasets for
+        # poisoned copies *before* the local problems are built below, so
+        # they then train honestly on dishonest data; byzantine behaviours
+        # corrupt uploads in local_updates instead.
+        self.adversarial: frozenset[int] = frozenset()
+        if adversary is not None:
+            if not isinstance(clients, list):
+                from repro.exceptions import ConfigurationError
+
+                raise ConfigurationError(
+                    "adversaries need a materialised client list; virtual "
+                    "(lazy) populations are not supported"
+                )
+            self.adversarial = adversary.select(
+                len(clients), rng_factory.make("adversary-selection")
+            )
+            if adversary.poisons_data:
+                for index in sorted(self.adversarial):
+                    client = clients[index]
+                    client.dataset = adversary.poison_dataset(client.dataset)
 
         if isinstance(clients, list):
             self.problems = [
@@ -292,6 +318,25 @@ class ClientWorkPipeline:
             outcomes = self.executor.run_tasks(tasks) if tasks else []
         for task, outcome in zip(tasks, outcomes):
             self.merge_client(task.client_index, outcome.client)
+        if self.adversary is not None and self.adversary.corrupts_updates:
+            # Corrupt on the coordinator thread, after the executor returns:
+            # the same bytes replace the same messages no matter which
+            # executor (or max_workers) produced them.  Each corruption
+            # draws from its own (client, round) stream so the order the
+            # outcomes are visited cannot perturb another client's noise.
+            corrupted = 0
+            for task, outcome in zip(tasks, outcomes):
+                if task.client_index not in self.adversarial:
+                    continue
+                rng = self._rng_factory.make(
+                    f"adversary/round-{task.round_index}/client-{task.client_index}"
+                )
+                outcome.message = self.adversary.corrupt_message(
+                    outcome.message, params, rng
+                )
+                corrupted += 1
+            if self.metrics is not None and corrupted:
+                self.metrics.counter("adversary.corrupted_updates").inc(corrupted)
         if self.metrics is not None and tasks:
             self.metrics.counter("tasks_executed").inc(len(tasks))
         if trace:

@@ -13,7 +13,9 @@ about:
   profiles that turn a round into a simulated wall-clock duration
   (straggler-dominated, as in real federated deployments),
 * :mod:`repro.systems.faults` — mid-round client dropout and round
-  deadlines that knock stragglers out of aggregation,
+  deadlines that knock stragglers out of aggregation (honest failures),
+* :mod:`repro.systems.adversaries` — byzantine/poisoning client
+  behaviours and robust aggregation defenses (dishonest participation),
 * :mod:`repro.systems.executor` — serial, thread-pool, process-pool, and
   vectorized (stacked-NumPy cohort) execution of the selected clients'
   local updates.
@@ -23,6 +25,16 @@ constructed without them behaves exactly like the idealised synchronous
 engine of the seed reproduction.
 """
 
+from repro.systems.adversaries import (
+    ADVERSARY_REGISTRY,
+    DEFENSE_REGISTRY,
+    AdversaryBehaviour,
+    AdversaryModel,
+    Defense,
+    DefendedAlgorithm,
+    build_adversary,
+    build_defense,
+)
 from repro.systems.compression import (
     CODEC_REGISTRY,
     Codec,
@@ -58,6 +70,14 @@ from repro.systems.network import (
 from repro.systems.transport import Transport
 
 __all__ = [
+    "ADVERSARY_REGISTRY",
+    "DEFENSE_REGISTRY",
+    "AdversaryBehaviour",
+    "AdversaryModel",
+    "Defense",
+    "DefendedAlgorithm",
+    "build_adversary",
+    "build_defense",
     "CODEC_REGISTRY",
     "Codec",
     "EncodedVector",

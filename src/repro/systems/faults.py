@@ -14,6 +14,14 @@ models both:
 
 This is exactly the partial-participation regime the paper's Theorem 1
 covers for FedADMM and where FedAvg/SCAFFOLD degrade.
+
+Faults are *honest* failures: a faulty client crashes or misses the
+deadline, but whatever it does upload is exactly what it trained.
+Clients that lie — uploading corrupted updates or training on poisoned
+data — are a different threat model, handled by
+:mod:`repro.systems.adversaries` (with robust aggregation defenses); see
+``docs/tutorials/robustness.md``.  The two compose: an adversarial
+client can still crash.
 """
 
 from __future__ import annotations

@@ -52,6 +52,7 @@ class TestRegistry:
             "scaffold",
             "fedadmm",
             "fedpd",
+            "feddropoutavg",
         }
 
     def test_build_algorithm(self):

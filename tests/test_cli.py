@@ -405,3 +405,70 @@ class TestCliServe:
         assert main(["worker", "ftp://nope"]) == 2
         err = capsys.readouterr().err
         assert err.startswith("error:") and "Traceback" not in err
+
+
+class TestCliRobustness:
+    def test_robustness_small_run(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--dataset", "blobs",
+                "--clients", "8",
+                "--rounds", "2",
+                "--adversary", "sign_flip",
+                "--defense", "median",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation_vs_clean" in out
+        assert "sign_flip" in out and "median" in out
+
+    def test_unknown_defense_fails_fast(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--clients", "8",
+                "--rounds", "2",
+                "--adversary", "sign_flip",
+                "--defense", "bogus",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_unsupported_adversary_on_a_study_fails_fast(self, capsys):
+        assert main(["robustness", "--adversary", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "supported adversaries" in err
+
+    def test_contributions_loo_smoke(self, tmp_path, capsys):
+        output = tmp_path / "contrib.json"
+        code = main(
+            [
+                "contributions",
+                "--clients", "4",
+                "--rounds", "2",
+                "--method", "loo",
+                "--store-dir", str(tmp_path / "store"),
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "contribution scores" in out
+        payload = json.loads(output.read_text())
+        assert payload["method"] == "loo"
+        assert len(payload["scores"]) == 4
+        # Second invocation reuses every cached coalition run.
+        assert main(
+            [
+                "contributions",
+                "--clients", "4",
+                "--rounds", "2",
+                "--method", "loo",
+                "--store-dir", str(tmp_path / "store"),
+            ]
+        ) == 0
+        assert "0 coalition run(s) executed" in capsys.readouterr().out

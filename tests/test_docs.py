@@ -132,3 +132,42 @@ class TestSiteIntegrity:
         # sys.path itself rather than relying on PYTHONPATH.
         text = (DOCS_DIR / "gen_catalogue.py").read_text(encoding="utf-8")
         assert 'sys.path.insert(0, str(REPO_ROOT / "src"))' in text
+
+
+class TestLinkChecker:
+    """The stdlib ``docs-linkcheck`` gate (docs/check_links.py)."""
+
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return runpy.run_path(str(DOCS_DIR / "check_links.py"), run_name="docs")
+
+    def test_repo_docs_pass(self, checker, capsys):
+        assert checker["main"](["README.md"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_broken_link_and_missing_anchor_fail(self, checker, capsys, tmp_path):
+        rogue = DOCS_DIR / "_linkcheck_rogue.md"
+        rogue.write_text(
+            "[a](no-such-page.md)\n[b](index.md#no-such-anchor)\n"
+            "[ok](index.md)\n[ext](https://example.com/missing)\n",
+            encoding="utf-8",
+        )
+        try:
+            assert checker["main"]([]) == 1
+            err = capsys.readouterr().err
+            assert "broken link -> no-such-page.md" in err
+            assert "missing anchor -> index.md#no-such-anchor" in err
+        finally:
+            rogue.unlink()
+
+    def test_fenced_code_is_not_scanned(self, checker):
+        errors = checker["check_file"](DOCS_DIR / "tutorials" / "robustness.md", {})
+        assert errors == []
+
+    def test_slugify_matches_toc_style(self, checker):
+        assert checker["slugify"]("The adversary / defense matrix") == (
+            "the-adversary-defense-matrix"
+        )
+        assert checker["slugify"]("Valuing clients: `repro contributions`") == (
+            "valuing-clients-repro-contributions"
+        )
